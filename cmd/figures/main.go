@@ -1,0 +1,104 @@
+// Command figures regenerates the paper's evaluation figures (Figs 4–8,
+// both speed variants) as text tables or CSV.
+//
+// Usage:
+//
+//	figures                 # all ten figures, text tables
+//	figures -fig 4a         # one figure
+//	figures -csv -fig 7b    # CSV output
+//	figures -fast           # shrunken sweeps (shape-preserving)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ecgrid/internal/experiment"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "", "figure to regenerate (4a..8b); empty runs all")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		fast  = flag.Bool("fast", false, "shrunken sweeps for quick runs")
+		seed  = flag.Int64("seed", 1, "random seed")
+		seeds = flag.Int("seeds", 1, "repeat across this many seeds and report mean±CI")
+		out   = flag.String("out", "", "also write one CSV per figure into this directory")
+	)
+	flag.Parse()
+
+	var figs []experiment.Figure
+	overhead := false
+	switch *fig {
+	case "":
+		figs = experiment.All()
+		overhead = true
+	case "overhead":
+		overhead = true
+	default:
+		figs = []experiment.Figure{experiment.Figure(*fig)}
+	}
+
+	opt := experiment.Options{
+		Seed:  *seed,
+		Seeds: *seeds,
+		Fast:  *fast,
+		Progress: func(s string) {
+			fmt.Fprintf(os.Stderr, "running %s\n", s)
+		},
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	for _, f := range figs {
+		res, err := experiment.Run(f, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if *out != "" {
+			if err := writeCSVFile(*out, res); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if *csv {
+			fmt.Printf("# figure %s: %s\n", res.Figure, res.Title)
+			if err := res.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+			continue
+		}
+		if err := res.WriteTable(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if overhead && !*csv {
+		res := experiment.RunOverhead(opt)
+		if err := res.WriteTable(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeCSVFile stores one figure's CSV as <dir>/fig<id>.csv.
+func writeCSVFile(dir string, res *experiment.Result) error {
+	f, err := os.Create(filepath.Join(dir, fmt.Sprintf("fig%s.csv", res.Figure)))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintf(f, "# %s\n", res.Title); err != nil {
+		return err
+	}
+	return res.WriteCSV(f)
+}

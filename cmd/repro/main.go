@@ -1,0 +1,46 @@
+// Command repro checks the paper's evaluation claims against fresh
+// simulation runs and prints a PASS/FAIL checklist — the repository's
+// reproduction status as a program.
+//
+//	repro            # full horizons (a couple of minutes)
+//	repro -fast      # shrunken horizons
+//	repro -v         # show each simulation as it runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ecgrid/internal/claims"
+)
+
+func main() {
+	var (
+		seed    = flag.Int64("seed", 1, "random seed")
+		fast    = flag.Bool("fast", false, "shrunken horizons")
+		verbose = flag.Bool("v", false, "print each simulation run")
+	)
+	flag.Parse()
+
+	env := claims.NewEnv(*seed, *fast)
+	if *verbose {
+		env.Progress = func(s string) { fmt.Fprintf(os.Stderr, "running %s\n", s) }
+	}
+
+	failures := 0
+	for _, c := range claims.All() {
+		v := c.Check(env)
+		status := "PASS"
+		if !v.Pass {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Printf("[%s] %s\n       %s\n       measured: %s\n\n", status, c.ID, c.Statement, v.Detail)
+	}
+	if failures > 0 {
+		fmt.Printf("%d of %d claims failed\n", failures, len(claims.All()))
+		os.Exit(1)
+	}
+	fmt.Printf("all %d claims reproduced\n", len(claims.All()))
+}

@@ -1,0 +1,79 @@
+// Command sweep runs a parameter sweep over one scenario dimension and
+// prints a CSV row per run: protocol, the swept value, delivery rate,
+// mean latency, first death, final alive fraction, and aen.
+//
+// Usage:
+//
+//	sweep -param hosts -values 50,100,150,200 -protocols grid,ecgrid
+//	sweep -param pause -values 0,100,200,300,400,500,600
+//	sweep -param speed -values 1,2,5,10 -duration 590
+//	sweep -param seed  -values 1,2,3,4,5 -protocols ecgrid
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ecgrid/internal/runner"
+	"ecgrid/internal/scenario"
+)
+
+func main() {
+	var (
+		param     = flag.String("param", "hosts", "dimension to sweep: hosts, pause, speed, rate, flows, energy, seed")
+		values    = flag.String("values", "50,100,150,200", "comma-separated values")
+		protocols = flag.String("protocols", "grid,ecgrid,gaf", "comma-separated protocols")
+		duration  = flag.Float64("duration", 590, "simulated seconds per run")
+		seed      = flag.Int64("seed", 1, "base random seed")
+	)
+	flag.Parse()
+
+	var vals []float64
+	for _, v := range strings.Split(*values, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad value %q: %v\n", v, err)
+			os.Exit(2)
+		}
+		vals = append(vals, f)
+	}
+
+	fmt.Printf("protocol,%s,delivery_rate,mean_latency_ms,first_death_s,alive_end,aen_end\n", *param)
+	for _, p := range strings.Split(*protocols, ",") {
+		proto := scenario.ProtocolKind(strings.TrimSpace(p))
+		for _, v := range vals {
+			cfg := scenario.Default(proto)
+			cfg.Duration = *duration
+			cfg.Seed = *seed
+			switch *param {
+			case "hosts":
+				cfg.Hosts = int(v)
+			case "pause":
+				cfg.PauseTime = v
+			case "speed":
+				cfg.MaxSpeedMS = v
+			case "rate":
+				cfg.RatePerFlow = v
+			case "flows":
+				cfg.Flows = int(v)
+			case "energy":
+				cfg.InitialEnergyJ = v
+			case "seed":
+				cfg.Seed = int64(v)
+			default:
+				fmt.Fprintf(os.Stderr, "unknown param %q\n", *param)
+				os.Exit(2)
+			}
+			if err := cfg.Validate(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			r := runner.Run(cfg)
+			fmt.Printf("%s,%g,%.4f,%.3f,%.1f,%.3f,%.4f\n",
+				proto, v, r.DeliveryRate, r.MeanLatency*1000, r.FirstDeathAt, r.LastAlive, r.Collector.Aen.Last())
+		}
+	}
+}

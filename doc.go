@@ -1,0 +1,12 @@
+// Package ecgrid is a from-scratch Go reproduction of "Energy-Conserving
+// Grid Routing Protocol in Mobile Ad Hoc Networks" (Chao, Sheu, Hu;
+// ICPP 2003).
+//
+// The repository contains a deterministic discrete-event wireless network
+// simulator, the ECGRID protocol (internal/core), the GRID and GAF
+// baselines it is evaluated against, and a harness that regenerates every
+// figure of the paper's evaluation. See README.md for a tour, DESIGN.md
+// for the system inventory, and EXPERIMENTS.md for paper-vs-measured
+// results. The root package holds only the repository-wide benchmarks in
+// bench_test.go.
+package ecgrid

@@ -1,0 +1,32 @@
+// Density: the paper's Figure 8 effect — ECGRID's network lifetime grows
+// with host density (more hosts per grid share the gateway duty), while
+// GRID gains nothing from extra hosts.
+//
+//	go run ./examples/density
+package main
+
+import (
+	"fmt"
+
+	"ecgrid/internal/runner"
+	"ecgrid/internal/scenario"
+)
+
+func main() {
+	densities := []int{50, 100, 200}
+	fmt.Println("first battery death and alive fraction at t=900 s, by host count")
+	fmt.Printf("%-8s %-8s %-14s %-14s\n", "proto", "hosts", "firstDeath(s)", "alive@900s")
+	for _, p := range []scenario.ProtocolKind{scenario.GRID, scenario.ECGRID} {
+		for _, n := range densities {
+			cfg := scenario.Default(p)
+			cfg.Hosts = n
+			cfg.Duration = 1000
+			r := runner.Run(cfg)
+			fmt.Printf("%-8s %-8d %-14.0f %-14.2f\n", p, n, r.FirstDeathAt, r.Collector.Alive.At(900))
+		}
+	}
+	fmt.Println("\nexpected shape (paper Fig. 8): GRID's numbers barely move with density")
+	fmt.Println("(every host idles regardless), while ECGRID keeps more hosts alive as")
+	fmt.Println("density rises — only one host per grid is awake, and a fuller grid")
+	fmt.Println("rotates the gateway burden across more batteries.")
+}

@@ -1,0 +1,39 @@
+// Mobility: the paper's Figures 6 and 7 scenario — how pause time (and
+// thus mobility) affects packet delivery rate and latency for the three
+// protocols.
+//
+//	go run ./examples/mobility
+package main
+
+import (
+	"fmt"
+
+	"ecgrid/internal/runner"
+	"ecgrid/internal/scenario"
+)
+
+func main() {
+	pauses := []float64{0, 300, 600}
+	fmt.Println("delivery rate / mean latency by pause time (100 hosts, 10 pkt/s, speed ≤1 m/s, 590 s)")
+	fmt.Printf("%-8s", "pause(s)")
+	order := []scenario.ProtocolKind{scenario.GRID, scenario.ECGRID, scenario.GAF}
+	for _, p := range order {
+		fmt.Printf("%22s", p)
+	}
+	fmt.Println()
+	for _, pause := range pauses {
+		fmt.Printf("%-8.0f", pause)
+		for _, p := range order {
+			cfg := scenario.Default(p)
+			cfg.PauseTime = pause
+			r := runner.Run(cfg)
+			fmt.Printf("%14.1f%% %5.1fms", 100*r.DeliveryRate, r.MeanLatency*1000)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nexpected shape (paper Figs. 6–7): all three protocols deliver the")
+	fmt.Println("bulk of their packets at every pause time with single-digit to")
+	fmt.Println("low-double-digit millisecond typical latency; ECGRID achieves this")
+	fmt.Println("despite almost all hosts sleeping, because the RAS pages sleeping")
+	fmt.Println("destinations awake on demand.")
+}

@@ -1,0 +1,3 @@
+module ecgrid
+
+go 1.22

@@ -1,0 +1,46 @@
+package claims
+
+import "testing"
+
+func TestClaimsWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range All() {
+		if c.ID == "" || c.Statement == "" || c.Check == nil {
+			t.Fatalf("malformed claim %+v", c)
+		}
+		if seen[c.ID] {
+			t.Fatalf("duplicate claim id %q", c.ID)
+		}
+		seen[c.ID] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("only %d claims", len(seen))
+	}
+}
+
+func TestEnvCachesRuns(t *testing.T) {
+	e := NewEnv(1, true)
+	runs := 0
+	e.Progress = func(string) { runs++ }
+	cfg := e.base("ecgrid", 1, 20, 30)
+	e.run(cfg)
+	e.run(cfg)
+	if runs != 1 {
+		t.Fatalf("cache miss: %d runs", runs)
+	}
+}
+
+func TestAllClaimsPassFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs many simulations")
+	}
+	e := NewEnv(1, true)
+	for _, c := range All() {
+		c := c
+		t.Run(c.ID, func(t *testing.T) {
+			if v := c.Check(e); !v.Pass {
+				t.Errorf("claim failed: %s\nmeasured: %s", c.Statement, v.Detail)
+			}
+		})
+	}
+}

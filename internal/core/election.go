@@ -1,0 +1,229 @@
+package core
+
+import (
+	"ecgrid/internal/hostid"
+	"ecgrid/internal/radio"
+	"ecgrid/internal/routing"
+)
+
+// This file implements the gateway election of §3 and §3.1, plus the
+// RETIRE/TRANSFER handover of §3.2.
+//
+// Election rules (§3):
+//  1. higher battery-level band wins;
+//  2. among equal bands, smaller distance to the grid center wins;
+//  3. finally, the smaller host ID wins.
+//
+// With EnergyAwareElection off (the GRID baseline), rule 1 is skipped:
+// GRID elects purely by position, as the paper suggests for GRID
+// ("the gateway host of a grid should be the one nearest to the physical
+// center of the grid").
+
+// better reports whether candidate a beats candidate b.
+func (p *Protocol) better(a, b *helloInfo) bool {
+	if p.opt.EnergyAwareElection && a.level != b.level {
+		return a.level > b.level
+	}
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	return a.id < b.id
+}
+
+// startElection begins the distributed election: broadcast HELLOs are
+// already flowing (callers send one), and after a HELLO period every
+// participant applies the rules to what it heard.
+func (p *Protocol) startElection() {
+	if p.electing || p.stopped {
+		return
+	}
+	p.electing = true
+	p.Stats.ElectionsRun++
+	wait := p.opt.ElectionWait
+	if wait <= 0 {
+		wait = p.opt.HelloPeriod
+	}
+	p.electionTimer.Reset(wait)
+}
+
+func (p *Protocol) cancelElection() {
+	p.electing = false
+	p.electionTimer.Stop()
+}
+
+// finishElection applies the election rules after the HELLO window.
+func (p *Protocol) finishElection() {
+	if p.stopped || !p.electing {
+		return
+	}
+	p.electing = false
+	if p.host.Asleep() || p.role == roleGateway {
+		return
+	}
+	me := &helloInfo{
+		id:    p.host.ID(),
+		level: p.host.Level(),
+		dist:  p.host.DistToCellCenter(),
+	}
+	winner := me
+	now := p.host.Now()
+	for _, h := range p.heard {
+		if h.id == p.host.ID() {
+			continue
+		}
+		// Only fresh HELLOs participate; stale entries are hosts that
+		// likely left or slept.
+		if now-h.at > p.opt.HelloPeriod+p.opt.GatewayTimeout {
+			continue
+		}
+		if p.better(h, winner) {
+			winner = h
+		}
+	}
+	if winner == me {
+		p.declareGateway("won election")
+		return
+	}
+	// Someone else should win; wait for their gflag HELLO. If it never
+	// comes (they left, or the HELLO collided), the gateway-wait
+	// fallback triggers another round.
+	p.gwWaitTimer.Reset(p.opt.GatewayTimeout)
+}
+
+// declareGateway makes this host the grid's gateway (§3.1 step 3): a
+// gflag HELLO announces it, and any inherited tables are installed.
+func (p *Protocol) declareGateway(reason string) {
+	wasGateway := p.role == roleGateway
+	p.cancelElection()
+	p.gwWaitTimer.Stop()
+	p.idleTimer.Stop()
+	p.sleepTimer.Stop()
+	p.role = roleGateway
+	p.myGrid = p.host.Cell()
+	p.gatewayID = p.host.ID()
+	p.lastGWHello = p.host.Now()
+	p.gwLevelAt = p.host.Level()
+	if !wasGateway {
+		p.Stats.BecameGateway++
+	}
+	if p.inheritRoutes != nil {
+		p.table.Merge(p.inheritRoutes, p.host.Now())
+		p.inheritRoutes = nil
+	}
+	if p.inheritHosts != nil {
+		p.hosts.Merge(p.inheritHosts)
+		p.inheritHosts = nil
+	}
+	p.hosts.Remove(p.host.ID())
+	p.sendHello() // gflag set: this is the declaration
+	// A member that became gateway routes its own pending data directly.
+	if len(p.pendingOut) > 0 {
+		p.drainPending()
+	}
+}
+
+// abdicateTo resolves a two-gateways conflict: hand our tables to the
+// stronger gateway and fall back to member.
+func (p *Protocol) abdicateTo(to hostid.ID) {
+	if p.role != roleGateway {
+		return
+	}
+	p.Stats.TransfersSent++
+	tr := &routing.Transfer{
+		Grid:   p.myGrid,
+		Routes: p.table.Snapshot(p.host.Now()),
+		Hosts:  p.hosts.Snapshot(),
+	}
+	p.host.Send(&radio.Frame{
+		Kind: "transfer", Dst: to,
+		Bytes:   tr.SizeBytes() + radio.MACHeaderBytes,
+		Payload: tr,
+	})
+	p.role = roleMember
+	p.gatewayID = to
+	p.lastGWHello = p.host.Now()
+	p.touchActivity()
+}
+
+// noGatewayEvent reacts to a detected no-gateway condition (§3.2): wake
+// the whole grid and run a fresh election.
+func (p *Protocol) noGatewayEvent(reason string) {
+	if p.electing || p.stopped {
+		return
+	}
+	p.Stats.NoGatewayEvnts++
+	p.gatewayID = hostid.None
+	if p.opt.SleepEnabled && p.opt.UseRAS {
+		p.Stats.GridPagesSent++
+		p.host.PageGrid(p.host.Cell())
+	}
+	// Give woken hosts time to come up, then exchange HELLOs.
+	p.host.Engine().Schedule(p.opt.Tau, func() {
+		if p.stopped || p.host.Asleep() || p.role == roleGateway {
+			return
+		}
+		p.sendHelloJittered(p.opt.HelloPeriod * p.opt.HelloJitterFrac)
+		p.startElection()
+	})
+}
+
+// handleRetire processes a departing gateway's RETIRE (§3.2): store the
+// tables and elect a successor.
+func (p *Protocol) handleRetire(m *routing.Retire) {
+	if p.host.Cell() != m.Grid || p.role == roleGateway {
+		return
+	}
+	p.gatewayID = hostid.None
+	p.inheritRoutes = m.Routes
+	p.inheritHosts = m.Hosts
+	if m.HasNew && m.NewGrid != m.Grid {
+		// §3.4 stub: the departing gateway's own traffic follows it
+		// into its new grid, one hop longer.
+		seq := uint32(1)
+		for _, e := range m.Routes {
+			if e.Dst == m.Leaving && e.Seq >= seq {
+				seq = e.Seq + 1
+			}
+		}
+		p.inheritRoutes = append(append([]routing.Entry(nil), m.Routes...), routing.Entry{
+			Dst:      m.Leaving,
+			NextGrid: m.NewGrid,
+			DestGrid: m.NewGrid,
+			Seq:      seq,
+			Hops:     1,
+		})
+	}
+	p.gwWaitTimer.Stop()
+	if m.Successor == p.host.ID() {
+		// Designated: take over immediately; the inherited tables were
+		// stored above and install on declaration.
+		p.declareGateway("designated successor")
+		return
+	}
+	if m.Successor.IsUnicast() {
+		// Someone else was designated: expect their gflag HELLO soon;
+		// fall back to a full election if it never comes.
+		p.gwWaitTimer.Reset(p.opt.GatewayTimeout)
+		p.maybeSleepLater()
+		return
+	}
+	p.sendHelloJittered(p.opt.HelloPeriod * p.opt.HelloJitterFrac)
+	p.startElection()
+}
+
+// maybeSleepLater arms the idle countdown so a woken host that has
+// nothing to do (it merely witnessed a designated handover) returns to
+// sleep once the successor's HELLO confirms the grid is served.
+func (p *Protocol) maybeSleepLater() {
+	p.touchActivity()
+}
+
+// handleTransfer installs tables handed over by a gateway we replaced.
+func (p *Protocol) handleTransfer(m *routing.Transfer) {
+	if p.role != roleGateway || m.Grid != p.myGrid {
+		return
+	}
+	p.table.Merge(m.Routes, p.host.Now())
+	p.hosts.Merge(m.Hosts)
+	p.hosts.Remove(p.host.ID())
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"testing"
+
+	"ecgrid/internal/grid"
+	"ecgrid/internal/hostid"
+	"ecgrid/internal/radio"
+	"ecgrid/internal/routing"
+)
+
+// Failure-path tests: discovery exhaustion, RERR propagation, unreachable
+// destinations, and member-side link failures.
+
+func TestDiscoveryRetriesThenDrops(t *testing.T) {
+	tb := newTestbed(t)
+	opt := DefaultOptions()
+	gw := tb.add(opt, nil, 150, 150, 500)
+	tb.start()
+	tb.engine.Run(5)
+	// Destination 99 does not exist anywhere: the gateway buffers the
+	// packet, retries the search (confined → global), and finally drops.
+	gw.SubmitData(pkt(1, 1, gw.host.ID(), hostid.ID(99), tb.engine.Now()))
+	tb.engine.Run(15)
+	if gw.Stats.DropDiscovery != 1 {
+		t.Fatalf("DropDiscovery = %d, want 1", gw.Stats.DropDiscovery)
+	}
+	// The confined attempt plus global retries all went on air.
+	if gw.Stats.RREQsSent < 2 {
+		t.Fatalf("RREQsSent = %d, want ≥ 2 (retries)", gw.Stats.RREQsSent)
+	}
+	if len(tb.delivered) != 0 {
+		t.Fatal("phantom delivery")
+	}
+}
+
+func TestDiscoveryRecoversIfRouteAppearsBeforeTimeout(t *testing.T) {
+	tb := newTestbed(t)
+	opt := DefaultOptions()
+	gw := tb.add(opt, nil, 150, 150, 500)
+	tb.add(opt, nil, 250, 150, 500) // the live gateway of cell (2,1)
+	tb.start()
+	tb.engine.Run(5)
+	gw.SubmitData(pkt(1, 1, gw.host.ID(), hostid.ID(99), tb.engine.Now()))
+	// A route materializes (e.g. via another flow's RREP) before the
+	// discovery gives up: the buffered packet must flush along it toward
+	// the (real, HELLO-known) neighbor gateway instead of being dropped
+	// by the origin's discovery timeout.
+	tb.engine.Schedule(0.2, func() {
+		gw.table.Update(routing.Entry{
+			Dst: 99, NextGrid: grid.Coord{X: 2, Y: 1}, DestGrid: grid.Coord{X: 2, Y: 1}, Seq: 9,
+		}, tb.engine.Now())
+	})
+	tb.engine.Run(10)
+	if gw.Stats.DropDiscovery != 0 {
+		t.Fatal("buffered packet dropped despite a route appearing")
+	}
+	if gw.Stats.DataForwarded == 0 {
+		t.Fatal("buffered packet never forwarded")
+	}
+}
+
+func TestRERRPropagatesToOrigin(t *testing.T) {
+	tb := newTestbed(t)
+	opt := GridOptions()
+	// Three gateways in a row; the origin is the leftmost.
+	a := tb.add(opt, nil, 150, 150, 500)
+	b := tb.add(opt, nil, 250, 150, 500)
+	c := tb.add(opt, nil, 350, 150, 500)
+	tb.start()
+	tb.engine.Run(5)
+	now := tb.engine.Now()
+	// Hand-build a route a→b→c for destination 99 with reverse routes
+	// back toward a (whose grid hosts the flow source: a itself).
+	a.table.Update(routing.Entry{Dst: 99, NextGrid: grid.Coord{X: 2, Y: 1}, DestGrid: grid.Coord{X: 3, Y: 1}, Seq: 1}, now)
+	b.table.Update(routing.Entry{Dst: 99, NextGrid: grid.Coord{X: 3, Y: 1}, DestGrid: grid.Coord{X: 3, Y: 1}, Seq: 1}, now)
+	b.table.Update(routing.Entry{Dst: a.host.ID(), NextGrid: grid.Coord{X: 1, Y: 1}, Seq: 1}, now)
+	c.table.Update(routing.Entry{Dst: a.host.ID(), NextGrid: grid.Coord{X: 2, Y: 1}, Seq: 1}, now)
+
+	// c reports a break for 99 toward the source a.
+	tb.engine.Schedule(0.01, func() { c.sendRERR(a.host.ID(), 99) })
+	tb.engine.Run(8)
+	if _, ok := b.table.Lookup(99, tb.engine.Now()); ok {
+		t.Fatal("transit gateway kept the broken route")
+	}
+	if _, ok := a.table.Lookup(99, tb.engine.Now()); ok {
+		t.Fatal("origin gateway kept the broken route")
+	}
+}
+
+func TestUnreachableVerdictDropsAndReports(t *testing.T) {
+	tb := newTestbed(t)
+	opt := DefaultOptions()
+	gw := tb.add(opt, nil, 150, 150, 500)
+	tb.start()
+	tb.engine.Run(5)
+	// Data claims its destination lives here, but the gateway has never
+	// heard of host 77 and the page goes unanswered: after FlushDelay
+	// the packets are dropped as unreachable.
+	gw.routeData(&routing.Data{
+		Packet:     pkt(1, 1, hostid.ID(88), hostid.ID(77), tb.engine.Now()),
+		TargetGrid: grid.Coord{X: 1, Y: 1},
+		DestGrid:   grid.Coord{X: 1, Y: 1},
+		HasDest:    true,
+	})
+	tb.engine.Run(6)
+	if gw.Stats.DropUnreach != 1 {
+		t.Fatalf("DropUnreach = %d, want 1", gw.Stats.DropUnreach)
+	}
+	if gw.Stats.PagesSent != 1 {
+		t.Fatalf("PagesSent = %d, want 1", gw.Stats.PagesSent)
+	}
+}
+
+func TestPagedSleepingMemberBeatsVerdict(t *testing.T) {
+	tb := newTestbed(t)
+	opt := DefaultOptions()
+	gw := tb.add(opt, nil, 150, 150, 500)
+	member := tb.add(opt, nil, 170, 160, 500)
+	tb.start()
+	tb.engine.Run(15)
+	if !tb.hosts[1].Asleep() {
+		t.Fatal("member not asleep")
+	}
+	// Even a gateway that has LOST its host table (fresh election with
+	// no inheritance) can deliver to a sleeping member via DestGrid +
+	// page.
+	gw.hosts.Remove(member.host.ID())
+	gw.routeData(&routing.Data{
+		Packet:     pkt(1, 1, gw.host.ID(), member.host.ID(), tb.engine.Now()),
+		TargetGrid: grid.Coord{X: 1, Y: 1},
+		DestGrid:   grid.Coord{X: 1, Y: 1},
+		HasDest:    true,
+	})
+	tb.engine.Run(17)
+	if len(tb.delivered) != 1 {
+		t.Fatalf("delivered %d, want 1 (page must beat the verdict)", len(tb.delivered))
+	}
+	if gw.Stats.DropUnreach != 0 {
+		t.Fatal("verdict dropped a reachable member")
+	}
+}
+
+func TestMemberTxFailedRequeuesAndRecovers(t *testing.T) {
+	tb := newTestbed(t)
+	opt := DefaultOptions()
+	gw := tb.add(opt, nil, 150, 150, 500)
+	member := tb.add(opt, nil, 170, 160, 500)
+	tb.start()
+	tb.engine.Run(2)
+	if member.IsGateway() {
+		t.Fatal("wrong election")
+	}
+	// Simulate a failed unicast to a vanished gateway: the member must
+	// requeue the packet and re-run the ACQ handshake; since the real
+	// gateway is alive, the packet eventually flows.
+	p := pkt(1, 1, member.host.ID(), gw.host.ID(), tb.engine.Now())
+	tb.engine.Schedule(0.01, func() {
+		if tb.hosts[1].Asleep() {
+			tb.hosts[1].WakeByTimer()
+		}
+		member.TxFailed(&radio.Frame{
+			Kind: "data", Src: member.host.ID(), Dst: 99, Bytes: 574,
+			Payload: &routing.Data{Packet: p, TargetGrid: grid.Coord{X: 1, Y: 1}},
+		})
+	})
+	tb.engine.Run(8)
+	if len(tb.delivered) != 1 {
+		t.Fatalf("delivered %d after member-side repair, want 1", len(tb.delivered))
+	}
+}
+
+func TestGatewayIDAccessor(t *testing.T) {
+	tb := newTestbed(t)
+	opt := DefaultOptions()
+	gw := tb.add(opt, nil, 150, 150, 500)
+	m := tb.add(opt, nil, 180, 180, 500)
+	tb.start()
+	tb.engine.Run(2)
+	if got := m.GatewayID(); got != gw.host.ID() {
+		t.Fatalf("member's GatewayID = %v, want %v", got, gw.host.ID())
+	}
+	if got := gw.GatewayID(); got != gw.host.ID() {
+		t.Fatalf("gateway's GatewayID = %v", got)
+	}
+}
+
+func TestRoleStringsAndLifecycle(t *testing.T) {
+	tb := newTestbed(t)
+	opt := DefaultOptions()
+	gw := tb.add(opt, nil, 150, 150, 500)
+	m := tb.add(opt, nil, 180, 180, 500)
+	tb.start()
+	tb.engine.Run(15)
+	if gw.Role() != "gateway" || m.Role() != "sleeping" {
+		t.Fatalf("roles: %v / %v", gw.Role(), m.Role())
+	}
+	if roleMember.String() != "member" || roleGateway.String() != "gateway" {
+		t.Fatal("role names wrong")
+	}
+}
+
+func TestBroadcastFallbackWhenNeighborUnknownForRREP(t *testing.T) {
+	tb := newTestbed(t)
+	opt := DefaultOptions()
+	gw := tb.add(opt, nil, 150, 150, 500)
+	tb.start()
+	tb.engine.Run(5)
+	// replyRREP toward a grid whose gateway we have never heard:
+	// sendToGrid must fall back to broadcast without panicking.
+	gw.replyRREP(&routing.RREQ{
+		Src: 98, SrcSeq: 1, Dst: gw.host.ID(), BcastID: 4,
+		Area:     grid.GlobalSearchArea(tb.partition),
+		OrigGrid: grid.Coord{X: 7, Y: 7}, PrevGrid: grid.Coord{X: 7, Y: 7},
+	}, grid.Coord{X: 1, Y: 1}, 0)
+	if gw.Stats.RREPsSent != 1 {
+		t.Fatalf("RREPsSent = %d", gw.Stats.RREPsSent)
+	}
+	tb.engine.Run(6)
+}
+
+func TestDwellWakeChecksCellAndResleeps(t *testing.T) {
+	tb := newTestbed(t)
+	opt := DefaultOptions()
+	opt.MaxDwell = 5 // short dwell: frequent probe wakes
+	tb.add(opt, nil, 150, 150, 500)
+	member := tb.add(opt, nil, 180, 180, 500)
+	tb.start()
+	tb.engine.Run(30)
+	// The stationary member must have cycled sleep→probe→sleep several
+	// times (dwell cap 5 s) and be asleep again now.
+	if member.Stats.SleepsEntered < 3 {
+		t.Fatalf("only %d sleeps with a 5 s dwell cap", member.Stats.SleepsEntered)
+	}
+	if !tb.hosts[1].Asleep() {
+		t.Fatalf("member is %v, want sleeping", member.Role())
+	}
+	// Each probe produced an Awake the gateway answered.
+	if member.Stats.ACQsSent < 3 {
+		t.Fatalf("only %d probes", member.Stats.ACQsSent)
+	}
+}
+
+func TestDrainPendingAsFreshGateway(t *testing.T) {
+	tb := newTestbed(t)
+	opt := DefaultOptions()
+	lone := tb.add(opt, nil, 150, 150, 500)
+	dst := tb.add(opt, nil, 250, 150, 500)
+	tb.start()
+	tb.engine.Run(0.2) // before the election: both are members
+	if lone.IsGateway() {
+		t.Skip("election finished earlier than expected")
+	}
+	// Packets submitted before any gateway exists pend; when the host
+	// wins its own election it must drain them itself.
+	lone.SubmitData(pkt(1, 1, lone.host.ID(), dst.host.ID(), tb.engine.Now()))
+	tb.engine.Run(10)
+	if len(tb.delivered) != 1 {
+		t.Fatalf("delivered %d, want 1 (drain on self-election)", len(tb.delivered))
+	}
+}

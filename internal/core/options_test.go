@@ -1,0 +1,48 @@
+package core
+
+import "testing"
+
+func TestDefaultOptionsValid(t *testing.T) {
+	if err := DefaultOptions().Validate(); err != nil {
+		t.Fatalf("DefaultOptions invalid: %v", err)
+	}
+	if err := GridOptions().Validate(); err != nil {
+		t.Fatalf("GridOptions invalid: %v", err)
+	}
+}
+
+func TestOptionsValidateRejects(t *testing.T) {
+	mutations := map[string]func(*Options){
+		"hello period":    func(o *Options) { o.HelloPeriod = 0 },
+		"jitter frac":     func(o *Options) { o.HelloJitterFrac = 1 },
+		"negative tau":    func(o *Options) { o.Tau = -1 },
+		"gateway timeout": func(o *Options) { o.GatewayTimeout = o.HelloPeriod },
+		"buffer":          func(o *Options) { o.BufferPerDest = 0 },
+		"max dwell":       func(o *Options) { o.MaxDwell = 0 },
+		"idle timeout":    func(o *Options) { o.IdleTimeout = 0 },
+		"acq":             func(o *Options) { o.AcqTimeout = 0 },
+		"discovery":       func(o *Options) { o.DiscoveryRetries = -1 },
+		"dup ttl":         func(o *Options) { o.DupTTL = 0 },
+		"sleep ttl<dwell": func(o *Options) { o.MemberSleepTTL = o.MaxDwell / 2 },
+		"search policy":   func(o *Options) { o.Search = SearchPolicy(9) },
+	}
+	for name, mutate := range mutations {
+		o := DefaultOptions()
+		mutate(&o)
+		if err := o.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestNewPanicsOnInvalidOptions(t *testing.T) {
+	tb := newTestbed(t)
+	bad := DefaultOptions()
+	bad.HelloPeriod = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with invalid options did not panic")
+		}
+	}()
+	tb.add(bad, nil, 100, 100, 500)
+}

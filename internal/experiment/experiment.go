@@ -1,0 +1,377 @@
+// Package experiment reproduces the paper's evaluation (§4): every figure
+// is a named experiment that sweeps the right parameters, runs the
+// simulator, and returns the same series the paper plots.
+//
+//	Fig 4 — fraction of alive hosts vs time (GRID, ECGRID, GAF)
+//	Fig 5 — mean energy consumption per host (aen) vs time
+//	Fig 6 — packet delivery latency vs pause time
+//	Fig 7 — packet delivery rate vs pause time
+//	Fig 8 — fraction of alive hosts vs time across host densities
+//
+// The (a) variants use a 1 m/s top speed, the (b) variants 10 m/s, as in
+// the paper.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"ecgrid/internal/runner"
+	"ecgrid/internal/scenario"
+	"ecgrid/internal/stats"
+)
+
+// Figure names one of the paper's evaluation figures.
+type Figure string
+
+// The ten figures of §4.
+const (
+	Fig4a Figure = "4a"
+	Fig4b Figure = "4b"
+	Fig5a Figure = "5a"
+	Fig5b Figure = "5b"
+	Fig6a Figure = "6a"
+	Fig6b Figure = "6b"
+	Fig7a Figure = "7a"
+	Fig7b Figure = "7b"
+	Fig8a Figure = "8a"
+	Fig8b Figure = "8b"
+)
+
+// All lists every figure in paper order.
+func All() []Figure {
+	return []Figure{Fig4a, Fig4b, Fig5a, Fig5b, Fig6a, Fig6b, Fig7a, Fig7b, Fig8a, Fig8b}
+}
+
+// Options tune an experiment run.
+type Options struct {
+	// Seed roots all randomness; runs with equal seeds are identical.
+	Seed int64
+	// Seeds, when > 1, repeats the whole sweep with seeds Seed,
+	// Seed+1, ..., and returns per-point means with 95 % confidence
+	// half-widths in Series.CI.
+	Seeds int
+	// Fast shrinks the sweep (shorter horizon, fewer pause points) for
+	// benchmarks and smoke tests. The series keep their shape.
+	Fast bool
+	// Progress, if non-nil, receives a line per sub-run.
+	Progress func(string)
+}
+
+// Point is one sample of a result series.
+type Point struct {
+	X, Y float64
+}
+
+// Series is one labelled curve of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+	// CI, when non-nil, holds the 95 % confidence half-width of each
+	// point's Y (multi-seed runs).
+	CI []float64
+}
+
+// Result is a reproduced figure.
+type Result struct {
+	Figure Figure
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Run reproduces the given figure. With Options.Seeds > 1 the sweep is
+// repeated across seeds and the series report means with confidence
+// half-widths.
+func Run(fig Figure, opt Options) (*Result, error) {
+	seeds := opt.Seeds
+	if seeds <= 1 {
+		return runOne(fig, opt)
+	}
+	results := make([]*Result, 0, seeds)
+	for i := 0; i < seeds; i++ {
+		o := opt
+		o.Seeds = 1
+		o.Seed = opt.Seed + int64(i)
+		r, err := runOne(fig, o)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, r)
+	}
+	return average(results), nil
+}
+
+// average merges same-shaped results into per-point means with 95 %
+// confidence half-widths.
+func average(results []*Result) *Result {
+	out := *results[0]
+	out.Series = make([]Series, len(results[0].Series))
+	for si, base := range results[0].Series {
+		s := Series{Label: base.Label}
+		for pi, p := range base.Points {
+			ys := make([]float64, 0, len(results))
+			for _, r := range results {
+				ys = append(ys, r.Series[si].Points[pi].Y)
+			}
+			mean, hw := stats.MeanCI(ys)
+			s.Points = append(s.Points, Point{X: p.X, Y: mean})
+			s.CI = append(s.CI, hw)
+		}
+		out.Series[si] = s
+	}
+	return &out
+}
+
+// runOne reproduces the figure for a single seed.
+func runOne(fig Figure, opt Options) (*Result, error) {
+	speed := 1.0
+	switch fig {
+	case Fig4b, Fig5b, Fig6b, Fig7b, Fig8b:
+		speed = 10
+	case Fig4a, Fig5a, Fig6a, Fig7a, Fig8a:
+	default:
+		return nil, fmt.Errorf("experiment: unknown figure %q", fig)
+	}
+	switch fig {
+	case Fig4a, Fig4b:
+		return runAliveVsTime(fig, speed, opt)
+	case Fig5a, Fig5b:
+		return runAenVsTime(fig, speed, opt)
+	case Fig6a, Fig6b:
+		return runPauseSweep(fig, speed, opt, true)
+	case Fig7a, Fig7b:
+		return runPauseSweep(fig, speed, opt, false)
+	default: // 8a, 8b
+		return runDensity(fig, speed, opt)
+	}
+}
+
+func (o Options) progress(format string, args ...any) {
+	if o.Progress != nil {
+		o.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// baseConfig is the paper's common setup at the given speed.
+func baseConfig(p scenario.ProtocolKind, speed float64, seed int64) scenario.Config {
+	cfg := scenario.Default(p)
+	cfg.MaxSpeedMS = speed
+	cfg.Seed = seed
+	return cfg
+}
+
+// protocols in the order the paper's legends use.
+var protocols = []scenario.ProtocolKind{scenario.GRID, scenario.ECGRID, scenario.GAF}
+
+// runAliveVsTime reproduces Fig 4: fraction of alive hosts vs simulation
+// time, 100 hosts, 10 pkt/s, pause 0.
+func runAliveVsTime(fig Figure, speed float64, opt Options) (*Result, error) {
+	horizon, step := 2000.0, 100.0
+	if opt.Fast {
+		horizon, step = 700, 100
+	}
+	res := &Result{
+		Figure: fig,
+		Title:  fmt.Sprintf("Fraction of alive hosts vs time (speed ≤ %g m/s)", speed),
+		XLabel: "Simulation time (s)",
+		YLabel: "Fraction of alive hosts",
+	}
+	for _, p := range protocols {
+		cfg := baseConfig(p, speed, opt.Seed)
+		cfg.Duration = horizon
+		opt.progress("fig %s: %v", fig, cfg)
+		r := runner.Run(cfg)
+		s := Series{Label: string(p)}
+		for x := 0.0; x <= horizon; x += step {
+			s.Points = append(s.Points, Point{X: x, Y: r.Collector.Alive.At(x)})
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// runAenVsTime reproduces Fig 5: the paper's Eq. (2), normalized by the
+// initial per-host energy so the y-axis runs 0..1.
+func runAenVsTime(fig Figure, speed float64, opt Options) (*Result, error) {
+	horizon, step := 2000.0, 100.0
+	if opt.Fast {
+		horizon, step = 700, 100
+	}
+	res := &Result{
+		Figure: fig,
+		Title:  fmt.Sprintf("Mean energy consumption per host (aen) vs time (speed ≤ %g m/s)", speed),
+		XLabel: "Simulation time (s)",
+		YLabel: "aen (fraction of initial energy)",
+	}
+	for _, p := range protocols {
+		cfg := baseConfig(p, speed, opt.Seed)
+		cfg.Duration = horizon
+		opt.progress("fig %s: %v", fig, cfg)
+		r := runner.Run(cfg)
+		s := Series{Label: string(p)}
+		for x := 0.0; x <= horizon; x += step {
+			s.Points = append(s.Points, Point{X: x, Y: r.Collector.Aen.At(x)})
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// runPauseSweep reproduces Figs 6 and 7: latency (ms) or delivery rate vs
+// pause time, at simulation time 590 s (when the GRID network exhausts).
+func runPauseSweep(fig Figure, speed float64, opt Options, latency bool) (*Result, error) {
+	pauses := []float64{0, 100, 200, 300, 400, 500, 600}
+	duration := 590.0
+	if opt.Fast {
+		pauses = []float64{0, 300, 600}
+		duration = 300
+	}
+	res := &Result{Figure: fig, XLabel: "Pause time (s)"}
+	if latency {
+		res.Title = fmt.Sprintf("Packet delivery latency vs pause time (speed ≤ %g m/s)", speed)
+		res.YLabel = "Latency (ms)"
+	} else {
+		res.Title = fmt.Sprintf("Packet delivery rate vs pause time (speed ≤ %g m/s)", speed)
+		res.YLabel = "Delivery rate"
+	}
+	for _, p := range protocols {
+		s := Series{Label: string(p)}
+		for _, pause := range pauses {
+			cfg := baseConfig(p, speed, opt.Seed)
+			cfg.PauseTime = pause
+			cfg.Duration = duration
+			opt.progress("fig %s: %v", fig, cfg)
+			r := runner.Run(cfg)
+			y := r.DeliveryRate
+			if latency {
+				y = r.MeanLatency * 1000
+			}
+			s.Points = append(s.Points, Point{X: pause, Y: y})
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// runDensity reproduces Fig 8: alive fraction vs time for GRID and ECGRID
+// at 50, 100, 150 and 200 hosts.
+func runDensity(fig Figure, speed float64, opt Options) (*Result, error) {
+	horizon, step := 2000.0, 100.0
+	densities := []int{50, 100, 150, 200}
+	if opt.Fast {
+		horizon = 700
+		densities = []int{50, 200}
+	}
+	res := &Result{
+		Figure: fig,
+		Title:  fmt.Sprintf("Alive hosts vs time across host densities (speed ≤ %g m/s)", speed),
+		XLabel: "Simulation time (s)",
+		YLabel: "Fraction of alive hosts",
+	}
+	for _, p := range []scenario.ProtocolKind{scenario.GRID, scenario.ECGRID} {
+		for _, n := range densities {
+			cfg := baseConfig(p, speed, opt.Seed)
+			cfg.Hosts = n
+			cfg.Duration = horizon
+			opt.progress("fig %s: %v", fig, cfg)
+			r := runner.Run(cfg)
+			s := Series{Label: fmt.Sprintf("%s n=%d", p, n)}
+			for x := 0.0; x <= horizon; x += step {
+				s.Points = append(s.Points, Point{X: x, Y: r.Collector.Alive.At(x)})
+			}
+			res.Series = append(res.Series, s)
+		}
+	}
+	return res, nil
+}
+
+// WriteTable renders the figure as an aligned text table: one row per X,
+// one column per series.
+func (r *Result) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Figure %s: %s\n", r.Figure, r.Title); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-18s", r.XLabel)
+	for _, s := range r.Series {
+		fmt.Fprintf(w, "%16s", s.Label)
+	}
+	fmt.Fprintln(w)
+	xs := r.xValues()
+	for _, x := range xs {
+		fmt.Fprintf(w, "%-18.6g", x)
+		for _, s := range r.Series {
+			v, ci, ok := valueCIAt(s, x)
+			switch {
+			case ok && ci > 0:
+				fmt.Fprintf(w, "%16s", fmt.Sprintf("%.4f±%.4f", v, ci))
+			case ok:
+				fmt.Fprintf(w, "%16.4f", v)
+			default:
+				fmt.Fprintf(w, "%16s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteCSV renders the figure as CSV with an x column and one column per
+// series.
+func (r *Result) WriteCSV(w io.Writer) error {
+	fmt.Fprintf(w, "x")
+	for _, s := range r.Series {
+		fmt.Fprintf(w, ",%s", s.Label)
+	}
+	fmt.Fprintln(w)
+	for _, x := range r.xValues() {
+		fmt.Fprintf(w, "%g", x)
+		for _, s := range r.Series {
+			if v, ok := valueAt(s, x); ok {
+				fmt.Fprintf(w, ",%g", v)
+			} else {
+				fmt.Fprintf(w, ",")
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// xValues collects the union of X coordinates across series, ascending.
+func (r *Result) xValues() []float64 {
+	seen := make(map[float64]bool)
+	var xs []float64
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+func valueAt(s Series, x float64) (float64, bool) {
+	v, _, ok := valueCIAt(s, x)
+	return v, ok
+}
+
+func valueCIAt(s Series, x float64) (v, ci float64, ok bool) {
+	for i, p := range s.Points {
+		if p.X == x {
+			if s.CI != nil {
+				ci = s.CI[i]
+			}
+			return p.Y, ci, true
+		}
+	}
+	return 0, 0, false
+}

@@ -1,0 +1,288 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAllListsTenFigures(t *testing.T) {
+	figs := All()
+	if len(figs) != 10 {
+		t.Fatalf("All() lists %d figures, want 10", len(figs))
+	}
+	seen := map[Figure]bool{}
+	for _, f := range figs {
+		if seen[f] {
+			t.Fatalf("duplicate figure %s", f)
+		}
+		seen[f] = true
+	}
+}
+
+func TestUnknownFigure(t *testing.T) {
+	if _, err := Run(Figure("9z"), Options{}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestFig4aFastShape(t *testing.T) {
+	res, err := Run(Fig4a, Options{Seed: 1, Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 3 {
+		t.Fatalf("fig 4a has %d series, want 3 (grid, ecgrid, gaf)", len(res.Series))
+	}
+	byLabel := map[string]Series{}
+	for _, s := range res.Series {
+		byLabel[s.Label] = s
+		// Alive fractions live in [0, 1] and start at 1.
+		if s.Points[0].Y != 1 {
+			t.Errorf("%s does not start fully alive: %v", s.Label, s.Points[0])
+		}
+		for _, p := range s.Points {
+			if p.Y < 0 || p.Y > 1 {
+				t.Errorf("%s alive fraction out of range: %+v", s.Label, p)
+			}
+		}
+	}
+	// The Fig 4 headline: GRID collapses around 590 s while ECGRID and
+	// GAF stay mostly alive.
+	last := func(l string) float64 {
+		pts := byLabel[l].Points
+		return pts[len(pts)-1].Y
+	}
+	if last("grid") > 0.1 {
+		t.Errorf("GRID still %.2f alive at the horizon", last("grid"))
+	}
+	if last("ecgrid") < 0.5 || last("gaf") < 0.5 {
+		t.Errorf("energy-aware protocols died early: ecgrid=%.2f gaf=%.2f",
+			last("ecgrid"), last("gaf"))
+	}
+}
+
+func TestFig5aFastShape(t *testing.T) {
+	res, err := Run(Fig5a, Options{Seed: 1, Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string][]Point{}
+	for _, s := range res.Series {
+		byLabel[s.Label] = s.Points
+		prev := -1.0
+		for _, p := range s.Points {
+			if p.Y < prev-1e-9 {
+				t.Errorf("%s aen decreased at t=%v", s.Label, p.X)
+			}
+			prev = p.Y
+		}
+	}
+	// Fig 5 headline: GRID consumes the most at any common time.
+	at := func(l string, x float64) float64 {
+		for _, p := range byLabel[l] {
+			if p.X == x {
+				return p.Y
+			}
+		}
+		t.Fatalf("%s has no sample at %v", l, x)
+		return 0
+	}
+	if at("grid", 500) <= at("ecgrid", 500) || at("grid", 500) <= at("gaf", 500) {
+		t.Errorf("aen ordering wrong at t=500: grid=%.3f ecgrid=%.3f gaf=%.3f",
+			at("grid", 500), at("ecgrid", 500), at("gaf", 500))
+	}
+}
+
+func TestFig7aFastShape(t *testing.T) {
+	res, err := Run(Fig7a, Options{Seed: 1, Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Series {
+		for _, p := range s.Points {
+			if p.Y < 0.5 || p.Y > 1 {
+				t.Errorf("%s delivery rate %.3f at pause %v out of plausible band",
+					s.Label, p.Y, p.X)
+			}
+		}
+	}
+}
+
+func TestFig6aFastShape(t *testing.T) {
+	res, err := Run(Fig6a, Options{Seed: 1, Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Series {
+		for _, p := range s.Points {
+			if p.Y <= 0 || p.Y > 500 {
+				t.Errorf("%s latency %.1f ms at pause %v implausible", s.Label, p.Y, p.X)
+			}
+		}
+	}
+}
+
+func TestFig8aFastShape(t *testing.T) {
+	res, err := Run(Fig8a, Options{Seed: 1, Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fast mode: grid and ecgrid at 50 and 200 hosts → 4 series.
+	if len(res.Series) != 4 {
+		t.Fatalf("fig 8a has %d series, want 4", len(res.Series))
+	}
+	last := map[string]float64{}
+	for _, s := range res.Series {
+		last[s.Label] = s.Points[len(s.Points)-1].Y
+	}
+	// Fig 8 headline: density helps ECGRID, not GRID.
+	if last["ecgrid n=200"] <= last["grid n=200"] {
+		t.Errorf("ECGRID (%.2f) not above GRID (%.2f) at n=200",
+			last["ecgrid n=200"], last["grid n=200"])
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	var lines []string
+	_, err := Run(Fig7a, Options{Seed: 1, Fast: true, Progress: func(s string) {
+		lines = append(lines, s)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) == 0 {
+		t.Fatal("no progress lines")
+	}
+}
+
+func TestWriteTableAndCSV(t *testing.T) {
+	res := &Result{
+		Figure: Fig7a,
+		Title:  "demo",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{
+			{Label: "a", Points: []Point{{0, 1}, {1, 0.5}}},
+			{Label: "b", Points: []Point{{0, 0.9}}},
+		},
+	}
+	var tbl bytes.Buffer
+	if err := res.WriteTable(&tbl); err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	for _, want := range []string{"Figure 7a", "demo", "a", "b", "1.0000", "0.9000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	// Series b has no sample at x=1: the table marks it with '-'.
+	if !strings.Contains(out, "-") {
+		t.Error("missing-sample marker absent")
+	}
+
+	var csv bytes.Buffer
+	if err := res.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if lines[0] != "x,a,b" {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	if lines[1] != "0,1,0.9" {
+		t.Errorf("csv row = %q", lines[1])
+	}
+	if lines[2] != "1,0.5," {
+		t.Errorf("csv missing-value row = %q", lines[2])
+	}
+}
+
+func TestMultiSeedAveraging(t *testing.T) {
+	res, err := Run(Fig7a, Options{Seed: 1, Seeds: 2, Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Series {
+		if s.CI == nil || len(s.CI) != len(s.Points) {
+			t.Fatalf("%s: missing CI (%d vs %d points)", s.Label, len(s.CI), len(s.Points))
+		}
+		for i, ci := range s.CI {
+			if ci < 0 {
+				t.Fatalf("%s: negative CI at %d", s.Label, i)
+			}
+		}
+	}
+	var tbl bytes.Buffer
+	if err := res.WriteTable(&tbl); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.String(), "±") {
+		t.Fatal("multi-seed table has no ± column")
+	}
+}
+
+func TestOverheadExperiment(t *testing.T) {
+	res := RunOverhead(Options{Seed: 1, Fast: true})
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(res.Rows))
+	}
+	byProto := map[string]OverheadRow{}
+	for _, r := range res.Rows {
+		byProto[string(r.Protocol)] = r
+		if r.Delivered == 0 {
+			t.Errorf("%s delivered nothing", r.Protocol)
+		}
+		if r.DataBytes == 0 || r.ControlBytes == 0 {
+			t.Errorf("%s has empty breakdown: %+v", r.Protocol, r)
+		}
+		if r.ControlBytesPerDelivered() <= 0 {
+			t.Errorf("%s zero control cost", r.Protocol)
+		}
+	}
+	// ECGRID's defining overhead: it pages sleeping destinations and
+	// exchanges sleep/awake notices; GRID does none of that.
+	ec := byProto["ecgrid"].ByKind
+	if ec["acq"].Frames == 0 && ec["awake"].Frames == 0 {
+		t.Error("ECGRID shows no ACQ/awake traffic")
+	}
+	gr := byProto["grid"].ByKind
+	if gr["sleep"].Frames != 0 {
+		t.Error("GRID shows sleep notices")
+	}
+
+	var buf bytes.Buffer
+	if err := res.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ctrl-B/deliv") {
+		t.Fatalf("table missing header: %s", buf.String())
+	}
+}
+
+func TestOverheadRowZeroDelivered(t *testing.T) {
+	r := OverheadRow{ControlBytes: 100}
+	if r.ControlBytesPerDelivered() != 0 {
+		t.Fatal("division by zero delivered not guarded")
+	}
+}
+
+func TestLoadSweepExtension(t *testing.T) {
+	res, err := RunLoadSweep(Options{Seed: 1, Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 3 {
+		t.Fatalf("%d series", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if len(s.Points) != 2 {
+			t.Fatalf("%s has %d points", s.Label, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Y < 0.3 || p.Y > 1 {
+				t.Errorf("%s delivery %.3f at rate %v implausible", s.Label, p.Y, p.X)
+			}
+		}
+	}
+}

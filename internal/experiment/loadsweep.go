@@ -1,0 +1,40 @@
+package experiment
+
+import (
+	"ecgrid/internal/runner"
+)
+
+// RunLoadSweep is an extension experiment covering the paper's second
+// traffic point: §4 says each source sends "one or ten 512-byte packets
+// per second", but every figure uses the 10 pkt/s network load (ten
+// 1 pkt/s flows). This sweep varies the per-flow rate from the paper's
+// light setting up to its heavy one (10 flows × 10 pkt/s = 100 pkt/s
+// network load, 20 % of the 2 Mbps channel) and reports how delivery and
+// latency hold up for each protocol.
+func RunLoadSweep(opt Options) (*Result, error) {
+	rates := []float64{1, 2, 5, 10}
+	duration := 400.0
+	if opt.Fast {
+		rates = []float64{1, 10}
+		duration = 120
+	}
+	res := &Result{
+		Figure: Figure("load"),
+		Title:  "Extension: delivery rate vs per-flow CBR rate (10 flows, speed ≤ 1 m/s)",
+		XLabel: "Per-flow rate (pkt/s)",
+		YLabel: "Delivery rate",
+	}
+	for _, p := range protocols {
+		s := Series{Label: string(p)}
+		for _, rate := range rates {
+			cfg := baseConfig(p, 1, opt.Seed)
+			cfg.RatePerFlow = rate
+			cfg.Duration = duration
+			opt.progress("load sweep: %v", cfg)
+			r := runner.Run(cfg)
+			s.Points = append(s.Points, Point{X: rate, Y: r.DeliveryRate})
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}

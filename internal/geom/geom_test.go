@@ -1,0 +1,179 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPointDist(t *testing.T) {
+	cases := []struct {
+		p, q Point
+		want float64
+	}{
+		{Point{0, 0}, Point{3, 4}, 5},
+		{Point{1, 1}, Point{1, 1}, 0},
+		{Point{-1, -1}, Point{2, 3}, 5},
+		{Point{0, 0}, Point{0, 7}, 7},
+	}
+	for _, c := range cases {
+		if got := c.p.Dist(c.q); !almostEqual(got, c.want) {
+			t.Errorf("Dist(%v, %v) = %v, want %v", c.p, c.q, got, c.want)
+		}
+		if got := c.p.Dist2(c.q); !almostEqual(got, c.want*c.want) {
+			t.Errorf("Dist2(%v, %v) = %v, want %v", c.p, c.q, got, c.want*c.want)
+		}
+	}
+}
+
+func TestDistSymmetricProperty(t *testing.T) {
+	f := func(ax, ay, bx, by int16) bool {
+		p := Point{float64(ax), float64(ay)}
+		q := Point{float64(bx), float64(by)}
+		return almostEqual(p.Dist(q), q.Dist(p)) && p.Dist(q) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTriangleInequalityProperty(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy int16) bool {
+		a := Point{float64(ax), float64(ay)}
+		b := Point{float64(bx), float64(by)}
+		c := Point{float64(cx), float64(cy)}
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	v := Vector{3, 4}
+	if got := v.Len(); !almostEqual(got, 5) {
+		t.Errorf("Len = %v, want 5", got)
+	}
+	if got := v.Scale(2); got != (Vector{6, 8}) {
+		t.Errorf("Scale(2) = %v", got)
+	}
+	u := v.Unit()
+	if !almostEqual(u.Len(), 1) {
+		t.Errorf("Unit().Len() = %v, want 1", u.Len())
+	}
+	if z := (Vector{}).Unit(); z != (Vector{}) {
+		t.Errorf("zero vector Unit = %v, want zero", z)
+	}
+}
+
+func TestPointAddSub(t *testing.T) {
+	p := Point{1, 2}
+	q := p.Add(Vector{3, -1})
+	if q != (Point{4, 1}) {
+		t.Fatalf("Add = %v", q)
+	}
+	if d := q.Sub(p); d != (Vector{3, -1}) {
+		t.Fatalf("Sub = %v", d)
+	}
+}
+
+func TestNewRectNormalizesCorners(t *testing.T) {
+	r := NewRect(Point{5, 1}, Point{2, 7})
+	if r.Min != (Point{2, 1}) || r.Max != (Point{5, 7}) {
+		t.Fatalf("NewRect = %v", r)
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := NewRect(Point{0, 0}, Point{10, 10})
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{5, 5}, true},
+		{Point{0, 0}, true},   // boundary inclusive
+		{Point{10, 10}, true}, // boundary inclusive
+		{Point{10.001, 5}, false},
+		{Point{-0.001, 5}, false},
+		{Point{5, 11}, false},
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestRectDimensionsAndCenter(t *testing.T) {
+	r := NewRect(Point{2, 3}, Point{8, 11})
+	if r.Width() != 6 || r.Height() != 8 {
+		t.Fatalf("Width,Height = %v,%v", r.Width(), r.Height())
+	}
+	if r.Center() != (Point{5, 7}) {
+		t.Fatalf("Center = %v", r.Center())
+	}
+}
+
+func TestRectExpand(t *testing.T) {
+	r := NewRect(Point{2, 2}, Point{4, 4}).Expand(1)
+	if r.Min != (Point{1, 1}) || r.Max != (Point{5, 5}) {
+		t.Fatalf("Expand = %v", r)
+	}
+}
+
+func TestRectUnion(t *testing.T) {
+	a := NewRect(Point{0, 0}, Point{2, 2})
+	b := NewRect(Point{5, -1}, Point{6, 1})
+	u := a.Union(b)
+	if u.Min != (Point{0, -1}) || u.Max != (Point{6, 2}) {
+		t.Fatalf("Union = %v", u)
+	}
+}
+
+func TestRectClamp(t *testing.T) {
+	r := NewRect(Point{0, 0}, Point{10, 10})
+	cases := []struct{ in, want Point }{
+		{Point{5, 5}, Point{5, 5}},
+		{Point{-3, 5}, Point{0, 5}},
+		{Point{12, 15}, Point{10, 10}},
+		{Point{4, -2}, Point{4, 0}},
+	}
+	for _, c := range cases {
+		if got := r.Clamp(c.in); got != c.want {
+			t.Errorf("Clamp(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestClampedPointContainedProperty(t *testing.T) {
+	r := NewRect(Point{0, 0}, Point{1000, 1000})
+	f := func(x, y int32) bool {
+		return r.Contains(r.Clamp(Point{float64(x), float64(y)}))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnionContainsBothProperty(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy, dx, dy int16) bool {
+		a := NewRect(Point{float64(ax), float64(ay)}, Point{float64(bx), float64(by)})
+		b := NewRect(Point{float64(cx), float64(cy)}, Point{float64(dx), float64(dy)})
+		u := a.Union(b)
+		return u.Contains(a.Min) && u.Contains(a.Max) && u.Contains(b.Min) && u.Contains(b.Max)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	if s := (Point{1, 2}).String(); s != "(1.00, 2.00)" {
+		t.Errorf("Point.String() = %q", s)
+	}
+	if s := NewRect(Point{0, 0}, Point{1, 1}).String(); s != "[(0.00, 0.00), (1.00, 1.00)]" {
+		t.Errorf("Rect.String() = %q", s)
+	}
+}

@@ -1,0 +1,33 @@
+// Package hostid defines the host identifier shared by every layer of the
+// simulator. The paper assumes each host has a unique ID (an IP or MAC
+// address) that doubles as its RAS paging sequence and as the final
+// tie-break in gateway election.
+package hostid
+
+import "fmt"
+
+// ID uniquely identifies a mobile host. Smaller IDs win election
+// tie-breaks, matching the paper's "smallest ID" rule.
+type ID int
+
+// Broadcast is the destination pseudo-ID for frames addressed to every
+// host in radio range.
+const Broadcast ID = -1
+
+// None marks an absent host reference (for example, "no gateway known").
+const None ID = -2
+
+// String renders the ID, with the pseudo-IDs named.
+func (id ID) String() string {
+	switch id {
+	case Broadcast:
+		return "broadcast"
+	case None:
+		return "none"
+	default:
+		return fmt.Sprintf("host-%d", int(id))
+	}
+}
+
+// IsUnicast reports whether the ID names a single concrete host.
+func (id ID) IsUnicast() bool { return id >= 0 }

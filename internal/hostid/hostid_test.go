@@ -1,0 +1,38 @@
+package hostid
+
+import "testing"
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		id   ID
+		want string
+	}{
+		{0, "host-0"},
+		{42, "host-42"},
+		{Broadcast, "broadcast"},
+		{None, "none"},
+	}
+	for _, c := range cases {
+		if got := c.id.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int(c.id), got, c.want)
+		}
+	}
+}
+
+func TestIsUnicast(t *testing.T) {
+	if !ID(0).IsUnicast() || !ID(7).IsUnicast() {
+		t.Error("concrete IDs not unicast")
+	}
+	if Broadcast.IsUnicast() || None.IsUnicast() {
+		t.Error("pseudo-IDs reported unicast")
+	}
+}
+
+func TestPseudoIDsAreDistinct(t *testing.T) {
+	if Broadcast == None {
+		t.Error("Broadcast and None collide")
+	}
+	if Broadcast >= 0 || None >= 0 {
+		t.Error("pseudo-IDs overlap the concrete ID space")
+	}
+}

@@ -1,0 +1,130 @@
+// Package metrics collects the four quantities the paper's evaluation
+// reports: the fraction of alive hosts over time (Figs. 4 and 8), the
+// mean energy consumption per host aen (Fig. 5), the packet delivery
+// rate (Fig. 7), and the average packet delivery latency (Fig. 6).
+package metrics
+
+import (
+	"ecgrid/internal/routing"
+	"ecgrid/internal/stats"
+)
+
+// Collector accumulates one simulation run's measurements.
+type Collector struct {
+	// Alive is the fraction-of-alive-hosts time series.
+	Alive stats.Series
+	// Aen is the paper's Eq. (2): aen(t) = (E0 − Et) / n, the mean
+	// energy consumed per (counted) host by time t, in joules.
+	Aen stats.Series
+
+	sent       int
+	delivered  int
+	duplicates int
+	latency    stats.Accumulator
+	latencies  []float64
+	seen       map[pktKey]bool
+
+	deaths     int
+	firstDeath float64
+	lastDeath  float64
+}
+
+type pktKey struct {
+	flow, seq int
+}
+
+// New returns an empty collector.
+func New() *Collector {
+	return &Collector{
+		Alive:      stats.Series{Name: "alive-fraction"},
+		Aen:        stats.Series{Name: "aen"},
+		seen:       make(map[pktKey]bool),
+		firstDeath: -1,
+		lastDeath:  -1,
+	}
+}
+
+// PacketSent records a source emission.
+func (c *Collector) PacketSent(pkt *routing.DataPacket) {
+	c.sent++
+}
+
+// PacketDelivered records a packet reaching its final destination at time
+// now. Duplicate deliveries of the same (flow, seq) are counted
+// separately and excluded from rate and latency.
+func (c *Collector) PacketDelivered(pkt *routing.DataPacket, now float64) {
+	k := pktKey{pkt.Flow, pkt.Seq}
+	if c.seen[k] {
+		c.duplicates++
+		return
+	}
+	c.seen[k] = true
+	c.delivered++
+	c.latency.Add(now - pkt.SentAt)
+	c.latencies = append(c.latencies, now-pkt.SentAt)
+}
+
+// LatencyPercentile returns the p-quantile of observed delays, or 0 with
+// no deliveries.
+func (c *Collector) LatencyPercentile(p float64) float64 {
+	if len(c.latencies) == 0 {
+		return 0
+	}
+	return stats.Percentile(c.latencies, p)
+}
+
+// HostDied records a battery exhaustion at time now.
+func (c *Collector) HostDied(now float64) {
+	c.deaths++
+	if c.firstDeath < 0 {
+		c.firstDeath = now
+	}
+	c.lastDeath = now
+}
+
+// SampleAlive appends an alive-fraction sample.
+func (c *Collector) SampleAlive(now, fraction float64) {
+	c.Alive.Append(now, fraction)
+}
+
+// SampleAen appends an aen sample (joules consumed per host).
+func (c *Collector) SampleAen(now, aen float64) {
+	c.Aen.Append(now, aen)
+}
+
+// Sent returns the number of packets sources emitted.
+func (c *Collector) Sent() int { return c.sent }
+
+// Delivered returns the number of unique packets that reached their
+// destinations.
+func (c *Collector) Delivered() int { return c.delivered }
+
+// Duplicates returns the number of redundant deliveries.
+func (c *Collector) Duplicates() int { return c.duplicates }
+
+// DeliveryRate returns delivered/sent, or 0 with no traffic.
+func (c *Collector) DeliveryRate() float64 {
+	if c.sent == 0 {
+		return 0
+	}
+	return float64(c.delivered) / float64(c.sent)
+}
+
+// MeanLatencySeconds returns the average end-to-end delay of delivered
+// packets.
+func (c *Collector) MeanLatencySeconds() float64 { return c.latency.Mean() }
+
+// MaxLatencySeconds returns the worst observed delay.
+func (c *Collector) MaxLatencySeconds() float64 { return c.latency.Max() }
+
+// Latency exposes the full latency accumulator.
+func (c *Collector) Latency() *stats.Accumulator { return &c.latency }
+
+// Deaths returns the number of host deaths recorded.
+func (c *Collector) Deaths() int { return c.deaths }
+
+// FirstDeathAt returns the time of the first death, or -1 if none.
+func (c *Collector) FirstDeathAt() float64 { return c.firstDeath }
+
+// LastDeathAt returns the time of the most recent death, or -1 if none.
+func (c *Collector) LastDeathAt() float64 { return c.lastDeath }

@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"ecgrid/internal/routing"
+)
+
+func pkt(flow, seq int, sentAt float64) *routing.DataPacket {
+	return &routing.DataPacket{Flow: flow, Seq: seq, SentAt: sentAt}
+}
+
+func TestDeliveryRateAndLatency(t *testing.T) {
+	c := New()
+	c.PacketSent(pkt(1, 1, 0))
+	c.PacketSent(pkt(1, 2, 1))
+	c.PacketSent(pkt(1, 3, 2))
+	c.PacketDelivered(pkt(1, 1, 0), 0.010)
+	c.PacketDelivered(pkt(1, 2, 1), 1.030)
+	if c.Sent() != 3 || c.Delivered() != 2 {
+		t.Fatalf("sent=%d delivered=%d", c.Sent(), c.Delivered())
+	}
+	if got := c.DeliveryRate(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("DeliveryRate = %v", got)
+	}
+	if got := c.MeanLatencySeconds(); math.Abs(got-0.020) > 1e-12 {
+		t.Fatalf("MeanLatency = %v", got)
+	}
+	if got := c.MaxLatencySeconds(); math.Abs(got-0.030) > 1e-12 {
+		t.Fatalf("MaxLatency = %v", got)
+	}
+	if got := c.LatencyPercentile(1.0); math.Abs(got-0.030) > 1e-12 {
+		t.Fatalf("p100 = %v", got)
+	}
+}
+
+func TestDuplicateDeliveriesExcluded(t *testing.T) {
+	c := New()
+	c.PacketSent(pkt(1, 1, 0))
+	c.PacketDelivered(pkt(1, 1, 0), 0.01)
+	c.PacketDelivered(pkt(1, 1, 0), 5.00) // duplicate: must not skew latency
+	if c.Delivered() != 1 || c.Duplicates() != 1 {
+		t.Fatalf("delivered=%d dups=%d", c.Delivered(), c.Duplicates())
+	}
+	if c.MeanLatencySeconds() != 0.01 {
+		t.Fatalf("duplicate polluted latency: %v", c.MeanLatencySeconds())
+	}
+	// Same seq on a different flow is a distinct packet.
+	c.PacketDelivered(pkt(2, 1, 0), 0.02)
+	if c.Delivered() != 2 {
+		t.Fatal("cross-flow packet treated as duplicate")
+	}
+}
+
+func TestEmptyCollector(t *testing.T) {
+	c := New()
+	if c.DeliveryRate() != 0 || c.MeanLatencySeconds() != 0 || c.LatencyPercentile(0.5) != 0 {
+		t.Fatal("empty collector not zero")
+	}
+	if c.FirstDeathAt() != -1 || c.LastDeathAt() != -1 || c.Deaths() != 0 {
+		t.Fatal("death stats not empty")
+	}
+}
+
+func TestDeathTracking(t *testing.T) {
+	c := New()
+	c.HostDied(100)
+	c.HostDied(50) // out of order is fine; first is min of arrival order
+	c.HostDied(200)
+	if c.Deaths() != 3 {
+		t.Fatalf("Deaths = %d", c.Deaths())
+	}
+	if c.FirstDeathAt() != 100 {
+		t.Fatalf("FirstDeathAt = %v (records first call)", c.FirstDeathAt())
+	}
+	if c.LastDeathAt() != 200 {
+		t.Fatalf("LastDeathAt = %v", c.LastDeathAt())
+	}
+}
+
+func TestSeriesSampling(t *testing.T) {
+	c := New()
+	c.SampleAlive(0, 1.0)
+	c.SampleAlive(10, 0.9)
+	c.SampleAen(0, 0)
+	c.SampleAen(10, 0.1)
+	if c.Alive.At(5) != 1.0 || c.Alive.At(10) != 0.9 {
+		t.Fatal("alive series wrong")
+	}
+	if c.Aen.Last() != 0.1 {
+		t.Fatal("aen series wrong")
+	}
+}
+
+func TestDeliveredNeverExceedsSentInPractice(t *testing.T) {
+	// The collector does not enforce delivered ≤ sent (duplicates are
+	// separated), but with unique packets the invariant holds.
+	c := New()
+	for i := 1; i <= 50; i++ {
+		p := pkt(1, i, float64(i))
+		c.PacketSent(p)
+		if i%2 == 0 {
+			c.PacketDelivered(p, float64(i)+0.01)
+		}
+	}
+	if c.Delivered() > c.Sent() {
+		t.Fatal("delivered exceeds sent")
+	}
+	if c.DeliveryRate() != 0.5 {
+		t.Fatalf("rate = %v", c.DeliveryRate())
+	}
+}

@@ -1,0 +1,213 @@
+package mobility
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ecgrid/internal/geom"
+)
+
+func newRD(seed int64, speed, epoch, pause float64) *RandomDirection {
+	return NewRandomDirection(testArea(), geom.Point{X: 500, Y: 500}, speed, epoch, pause,
+		rand.New(rand.NewSource(seed)))
+}
+
+func TestRandomDirectionStaysInAreaProperty(t *testing.T) {
+	m := newRD(1, 10, 30, 5)
+	area := testArea()
+	f := func(tr uint16) bool {
+		return area.Contains(m.Position(float64(tr) / 8))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomDirectionConstantSpeedWhileMoving(t *testing.T) {
+	m := newRD(2, 7, 1000, 0) // one long epoch: always moving
+	for i := 0; i < 200; i++ {
+		v := m.Velocity(float64(i) * 3.7).Len()
+		if math.Abs(v-7) > 1e-9 {
+			t.Fatalf("speed %v at sample %d, want 7", v, i)
+		}
+	}
+}
+
+func TestRandomDirectionPauses(t *testing.T) {
+	m := newRD(3, 10, 5, 5) // 5 s moving, 5 s paused
+	paused := 0
+	for i := 0; i < 100; i++ {
+		if m.Velocity(float64(i)).Len() == 0 {
+			paused++
+		}
+	}
+	if paused < 30 || paused > 70 {
+		t.Fatalf("paused %d/100 samples, want ≈50", paused)
+	}
+}
+
+func TestRandomDirectionContinuity(t *testing.T) {
+	const vmax = 10.0
+	m := newRD(4, vmax, 20, 2)
+	const dt = 0.01
+	prev := m.Position(0)
+	for u := dt; u < 300; u += dt {
+		cur := m.Position(u)
+		if d := cur.Dist(prev); d > vmax*dt+1e-9 {
+			t.Fatalf("jump of %v m at t=%v (reflection must not teleport)", d, u)
+		}
+		prev = cur
+	}
+}
+
+func TestRandomDirectionVelocityMatchesMotion(t *testing.T) {
+	m := newRD(5, 10, 100, 0)
+	const h = 1e-4
+	for _, u := range []float64{1, 7.3, 33.3, 80} {
+		v := m.Velocity(u)
+		num := m.Position(u + h).Sub(m.Position(u)).Scale(1 / h)
+		if math.Abs(v.DX-num.DX) > 0.01 || math.Abs(v.DY-num.DY) > 0.01 {
+			t.Fatalf("at t=%v velocity %v but numeric derivative %v", u, v, num)
+		}
+	}
+}
+
+func TestRandomDirectionNextTurn(t *testing.T) {
+	m := newRD(6, 10, 50, 5)
+	turn := m.NextTurn(1)
+	if turn <= 1 {
+		t.Fatalf("NextTurn(1) = %v", turn)
+	}
+	// Direction (sign pattern included) is constant until the turn.
+	v0 := m.Velocity(1)
+	mid := 1 + (turn-1)/2
+	if m.Velocity(mid) != v0 {
+		t.Fatalf("velocity changed before the reported turn: %v vs %v", v0, m.Velocity(mid))
+	}
+}
+
+func TestRandomDirectionDwellIntegration(t *testing.T) {
+	// EstimateDwell must respect random-direction turns too.
+	p := testPartition()
+	m := NewRandomDirection(testArea(), geom.Point{X: 550, Y: 550}, 10, 60, 0,
+		rand.New(rand.NewSource(7)))
+	d := EstimateDwell(m, 0, p, 60)
+	if d <= 0 || d > 60 {
+		t.Fatalf("EstimateDwell = %v", d)
+	}
+}
+
+func TestRandomDirectionValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero speed":     func() { newRD(1, 0, 10, 0) },
+		"zero epoch":     func() { newRD(1, 1, 0, 0) },
+		"negative pause": func() { newRD(1, 1, 10, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestReflectFolding(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{5, 5},
+		{0, 0},
+		{10, 10},
+		{12, 8},  // past hi: mirrored
+		{-3, 3},  // past lo: mirrored
+		{23, 3},  // two wraps: 23 -> mod 20 = 3
+		{-12, 8}, // negative wrap
+	}
+	for _, c := range cases {
+		if got := reflect(c.x, 0, 10); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("reflect(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestScriptedPathInterpolation(t *testing.T) {
+	s := NewScriptedPath(
+		[]float64{0, 10, 20},
+		[]geom.Point{{X: 0, Y: 0}, {X: 100, Y: 0}, {X: 100, Y: 50}},
+	)
+	if s.Position(-5) != (geom.Point{X: 0, Y: 0}) {
+		t.Fatal("before start not clamped")
+	}
+	if got := s.Position(5); got != (geom.Point{X: 50, Y: 0}) {
+		t.Fatalf("Position(5) = %v", got)
+	}
+	if got := s.Position(15); got != (geom.Point{X: 100, Y: 25}) {
+		t.Fatalf("Position(15) = %v", got)
+	}
+	if got := s.Position(99); got != (geom.Point{X: 100, Y: 50}) {
+		t.Fatalf("after end not clamped: %v", got)
+	}
+}
+
+func TestScriptedPathVelocity(t *testing.T) {
+	s := NewScriptedPath(
+		[]float64{0, 10, 20},
+		[]geom.Point{{X: 0, Y: 0}, {X: 100, Y: 0}, {X: 100, Y: 50}},
+	)
+	if got := s.Velocity(5); got != (geom.Vector{DX: 10}) {
+		t.Fatalf("Velocity(5) = %v", got)
+	}
+	if got := s.Velocity(15); got != (geom.Vector{DY: 5}) {
+		t.Fatalf("Velocity(15) = %v", got)
+	}
+	if got := s.Velocity(10); got != (geom.Vector{DY: 5}) {
+		t.Fatalf("Velocity at knot = %v, want upcoming segment", got)
+	}
+	if s.Velocity(25) != (geom.Vector{}) || s.Velocity(-1) != (geom.Vector{}) {
+		t.Fatal("velocity outside the script not zero")
+	}
+}
+
+func TestScriptedPathNextTurn(t *testing.T) {
+	s := NewScriptedPath([]float64{0, 10, 20}, []geom.Point{{}, {X: 1}, {X: 2}})
+	if s.NextTurn(5) != 10 || s.NextTurn(10) != 20 {
+		t.Fatal("NextTurn wrong")
+	}
+	if !math.IsInf(s.NextTurn(25), 1) {
+		t.Fatal("NextTurn after end not +Inf")
+	}
+}
+
+func TestScriptedPathCellChangeIntegration(t *testing.T) {
+	// The generic bisection solver must work on scripted paths.
+	p := testPartition()
+	s := NewScriptedPath(
+		[]float64{0, 10},
+		[]geom.Point{{X: 150, Y: 150}, {X: 350, Y: 150}},
+	)
+	tc := NextCellChange(s, 0, p, 100)
+	// Crosses x=200 at t=2.5.
+	if math.Abs(tc-2.5) > 0.01 {
+		t.Fatalf("NextCellChange = %v, want ≈2.5", tc)
+	}
+}
+
+func TestScriptedPathValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":          func() { NewScriptedPath(nil, nil) },
+		"length":         func() { NewScriptedPath([]float64{0}, []geom.Point{{}, {}}) },
+		"non-increasing": func() { NewScriptedPath([]float64{0, 0}, []geom.Point{{}, {}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,382 @@
+// Package node implements the mobile host: the glue between the physical
+// substrates (battery, mobility, radio channel, RAS paging) and a routing
+// protocol. A Host owns no policy — when to sleep, whom to elect, how to
+// route — that is the attached Protocol's job. The Host provides:
+//
+//   - identity, position and grid-cell queries (the "GPS"),
+//   - radio send plus frame delivery to the protocol,
+//   - sleep/wake state transitions wired to the channel and the RAS,
+//   - exact cell-change callbacks while awake,
+//   - battery-death detection and teardown.
+package node
+
+import (
+	"fmt"
+
+	"ecgrid/internal/energy"
+	"ecgrid/internal/geom"
+	"ecgrid/internal/grid"
+	"ecgrid/internal/hostid"
+	"ecgrid/internal/mobility"
+	"ecgrid/internal/radio"
+	"ecgrid/internal/ras"
+	"ecgrid/internal/sim"
+)
+
+// WakeCause says why a sleeping host returned to active mode.
+type WakeCause int
+
+const (
+	// WakeSelf: the host's own dwell/wake timer expired.
+	WakeSelf WakeCause = iota
+	// WakePage: the gateway paged this host's paging sequence.
+	WakePage
+	// WakeGridPage: the grid's broadcast sequence was paged (election).
+	WakeGridPage
+)
+
+// String names the wake cause.
+func (w WakeCause) String() string {
+	switch w {
+	case WakeSelf:
+		return "self-timer"
+	case WakePage:
+		return "paged"
+	case WakeGridPage:
+		return "grid-paged"
+	default:
+		return fmt.Sprintf("WakeCause(%d)", int(w))
+	}
+}
+
+// Protocol is the behaviour a Host runs. All methods are invoked from
+// simulation events; implementations must not retain frames past the
+// call (payloads may be shared).
+type Protocol interface {
+	// Start runs once when the simulation begins, after the host is
+	// attached to the channel.
+	Start()
+	// Receive handles a successfully received frame.
+	Receive(f *radio.Frame)
+	// Woken is called after a sleeping host returns to active mode,
+	// with the cause. The host is already listening when this runs.
+	Woken(cause WakeCause)
+	// CellChanged is called when an awake host crosses a grid boundary.
+	// Sleeping hosts do not get this callback; they discover movement
+	// when they wake, as the paper prescribes.
+	CellChanged(old, cur grid.Coord)
+	// Stopped is called once when the host dies (battery exhausted).
+	Stopped()
+}
+
+// Host is one mobile host.
+type Host struct {
+	id        hostid.ID
+	engine    *sim.Engine
+	rng       *sim.RNG
+	channel   *radio.Channel
+	bus       *ras.Bus
+	partition *grid.Partition
+	mob       mobility.Model
+	battery   *energy.Battery
+	protocol  Protocol
+
+	asleep bool
+	dead   bool
+
+	cellEv   *sim.Event // pending cell-change event
+	deathEv  *sim.Event // pending death-check event
+	lastCell grid.Coord
+
+	// Died, if set, is called once when the battery empties.
+	Died func(id hostid.ID, at float64)
+
+	// SleepLog counts sleep transitions, for diagnostics.
+	Sleeps, Wakes uint64
+}
+
+// Config collects the dependencies of a Host.
+type Config struct {
+	ID        hostid.ID
+	Engine    *sim.Engine
+	RNG       *sim.RNG
+	Channel   *radio.Channel
+	Bus       *ras.Bus
+	Partition *grid.Partition
+	Mobility  mobility.Model
+	Battery   *energy.Battery
+}
+
+// New creates a host and attaches it to the channel and the paging bus.
+// The protocol is set separately (SetProtocol) because protocols need the
+// host reference at construction.
+func New(cfg Config) *Host {
+	if cfg.Engine == nil || cfg.Channel == nil || cfg.Partition == nil || cfg.Mobility == nil || cfg.Battery == nil {
+		panic("node: incomplete config")
+	}
+	h := &Host{
+		id:        cfg.ID,
+		engine:    cfg.Engine,
+		rng:       cfg.RNG,
+		channel:   cfg.Channel,
+		bus:       cfg.Bus,
+		partition: cfg.Partition,
+		mob:       cfg.Mobility,
+		battery:   cfg.Battery,
+	}
+	h.lastCell = h.Cell()
+	h.channel.Attach(h)
+	if h.bus != nil {
+		h.bus.Attach(h.id, &ras.Switch{
+			Position: h.Position,
+			Asleep:   func() bool { return h.asleep && !h.dead },
+			Wake: func(reason ras.WakeReason) {
+				switch reason {
+				case ras.PagedDirectly:
+					h.wake(WakePage)
+				case ras.PagedGrid:
+					h.wake(WakeGridPage)
+				}
+			},
+		})
+	}
+	return h
+}
+
+// SetProtocol attaches the protocol. Must be called before Start.
+func (h *Host) SetProtocol(p Protocol) { h.protocol = p }
+
+// Start begins the host's life: death monitoring, cell-change tracking,
+// and the protocol.
+func (h *Host) Start() {
+	if h.protocol == nil {
+		panic("node: Start without protocol")
+	}
+	h.scheduleDeathCheck()
+	h.scheduleCellChange()
+	h.protocol.Start()
+}
+
+// --- identity and sensors -----------------------------------------------
+
+// ID returns the host identifier.
+func (h *Host) ID() hostid.ID { return h.id }
+
+// Now returns the current simulation time.
+func (h *Host) Now() float64 { return h.engine.Now() }
+
+// Engine exposes the event engine for protocol timers.
+func (h *Host) Engine() *sim.Engine { return h.engine }
+
+// RNG exposes the simulation's random streams (for protocol jitter).
+func (h *Host) RNG() *sim.RNG { return h.rng }
+
+// Partition returns the grid partition.
+func (h *Host) Partition() *grid.Partition { return h.partition }
+
+// Position returns the host's current location (the GPS reading).
+func (h *Host) Position() geom.Point { return h.mob.Position(h.engine.Now()) }
+
+// Cell returns the grid cell the host is currently in.
+func (h *Host) Cell() grid.Coord { return h.partition.CellOf(h.Position()) }
+
+// DistToCellCenter returns the distance from the host to the physical
+// center of its current cell (the HELLO "dist" field).
+func (h *Host) DistToCellCenter() float64 {
+	return h.Position().Dist(h.partition.Center(h.Cell()))
+}
+
+// Battery returns the host battery.
+func (h *Host) Battery() *energy.Battery { return h.battery }
+
+// Level returns the current battery level band.
+func (h *Host) Level() energy.Level { return h.battery.Level(h.engine.Now()) }
+
+// EstimateDwell returns the paper's GPS dwell estimate: the expected time
+// the host remains in its current cell, capped at maxDwell.
+func (h *Host) EstimateDwell(maxDwell float64) float64 {
+	return mobility.EstimateDwell(h.mob, h.engine.Now(), h.partition, maxDwell)
+}
+
+// Dead reports whether the host's battery is exhausted.
+func (h *Host) Dead() bool { return h.dead }
+
+// Asleep reports whether the host is in sleep mode.
+func (h *Host) Asleep() bool { return h.asleep }
+
+// --- radio ---------------------------------------------------------------
+
+// Send transmits a frame. The host must be awake and alive.
+func (h *Host) Send(f *radio.Frame) {
+	if h.dead {
+		return
+	}
+	if h.asleep {
+		panic(fmt.Sprintf("node: %v sent %v while asleep", h.id, f))
+	}
+	h.channel.Send(h.id, f)
+}
+
+// Deliver implements radio.Endpoint: frames go to the protocol.
+func (h *Host) Deliver(f *radio.Frame) {
+	if h.dead {
+		return
+	}
+	h.protocol.Receive(f)
+}
+
+// FailureAware is implemented by protocols that react to link-layer
+// transmit failures (route repair).
+type FailureAware interface {
+	TxFailed(f *radio.Frame)
+}
+
+// TxFailed implements radio.TxFeedback by forwarding to the protocol.
+func (h *Host) TxFailed(f *radio.Frame) {
+	if h.dead {
+		return
+	}
+	if fa, ok := h.protocol.(FailureAware); ok {
+		fa.TxFailed(f)
+	}
+}
+
+// --- RAS paging ----------------------------------------------------------
+
+// Page sends the paging sequence of target from this host's position.
+func (h *Host) Page(target hostid.ID) {
+	if h.bus == nil || h.dead {
+		return
+	}
+	h.bus.Page(h.Position(), target)
+}
+
+// PageGrid sends the broadcast sequence of cell c from this host's
+// position.
+func (h *Host) PageGrid(c grid.Coord) {
+	if h.bus == nil || h.dead {
+		return
+	}
+	h.bus.PageGrid(h.Position(), c)
+}
+
+// --- sleep and wake -------------------------------------------------------
+
+// Sleep turns the transceiver off. The protocol remains responsible for
+// scheduling its own wake timer. Sleeping while dead or already asleep is
+// a no-op.
+func (h *Host) Sleep() {
+	if h.dead || h.asleep {
+		return
+	}
+	h.asleep = true
+	h.Sleeps++
+	h.channel.SetListening(h.id, false)
+	h.cancelCellChange()
+	h.scheduleDeathCheck()
+}
+
+// WakeByTimer returns the host to active mode from its own timer. It is
+// what protocol wake timers call. No-op if already awake or dead.
+func (h *Host) WakeByTimer() { h.wake(WakeSelf) }
+
+func (h *Host) wake(cause WakeCause) {
+	if h.dead || !h.asleep {
+		return
+	}
+	h.asleep = false
+	h.Wakes++
+	h.channel.SetListening(h.id, true)
+	h.lastCell = h.Cell()
+	h.scheduleCellChange()
+	h.scheduleDeathCheck()
+	h.protocol.Woken(cause)
+}
+
+// --- cell-change tracking --------------------------------------------------
+
+func (h *Host) cancelCellChange() {
+	if h.cellEv != nil {
+		h.engine.Cancel(h.cellEv)
+		h.cellEv = nil
+	}
+}
+
+func (h *Host) scheduleCellChange() {
+	h.cancelCellChange()
+	if h.dead || h.asleep {
+		return
+	}
+	const horizon = 3600.0
+	next := mobility.NextCellChange(h.mob, h.engine.Now(), h.partition, h.engine.Now()+horizon)
+	var delay float64
+	if next > h.engine.Now()+horizon { // +Inf: re-arm at the horizon
+		delay = horizon
+	} else {
+		delay = next - h.engine.Now()
+	}
+	h.cellEv = h.engine.Schedule(delay, func() {
+		h.cellEv = nil
+		if h.dead || h.asleep {
+			return
+		}
+		old := h.lastCell
+		cur := h.Cell()
+		h.lastCell = cur
+		h.scheduleCellChange()
+		if cur != old {
+			h.protocol.CellChanged(old, cur)
+		}
+	})
+}
+
+// --- death -----------------------------------------------------------------
+
+// deathCheckPeriod bounds how stale a death prediction can be: the host
+// re-predicts at least this often, so death is detected within one
+// period even if the radio got busier than predicted.
+const deathCheckPeriod = 1.0
+
+func (h *Host) scheduleDeathCheck() {
+	if h.dead || h.battery.IsInfinite() {
+		return
+	}
+	if h.deathEv != nil {
+		h.engine.Cancel(h.deathEv)
+	}
+	now := h.engine.Now()
+	eta := h.battery.TimeToEmpty(now, h.battery.Mode())
+	delay := eta
+	if delay > deathCheckPeriod {
+		delay = deathCheckPeriod
+	}
+	if delay < 1e-9 {
+		delay = 1e-9
+	}
+	h.deathEv = h.engine.Schedule(delay, h.checkDeath)
+}
+
+func (h *Host) checkDeath() {
+	h.deathEv = nil
+	if h.dead {
+		return
+	}
+	if !h.battery.Dead(h.engine.Now()) {
+		h.scheduleDeathCheck()
+		return
+	}
+	h.die()
+}
+
+func (h *Host) die() {
+	h.dead = true
+	h.cancelCellChange()
+	h.channel.Detach(h.id)
+	if h.bus != nil {
+		h.bus.Detach(h.id)
+	}
+	h.protocol.Stopped()
+	if h.Died != nil {
+		h.Died(h.id, h.engine.Now())
+	}
+}

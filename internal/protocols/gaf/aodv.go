@@ -1,0 +1,284 @@
+package gaf
+
+import (
+	"ecgrid/internal/hostid"
+	"ecgrid/internal/radio"
+	"ecgrid/internal/routing"
+	"ecgrid/internal/sim"
+)
+
+// This file is the host-by-host AODV layer GAF routes with. Awake
+// forwarders relay floods and data; endpoints originate and terminate
+// traffic but never relay (the paper's Model 1: "these hosts do not ...
+// forward traffic").
+
+// SubmitData accepts an application packet.
+func (p *Protocol) SubmitData(pkt *routing.DataPacket) {
+	if p.stopped {
+		return
+	}
+	if pkt.Dst == p.host.ID() {
+		p.deliver(pkt)
+		return
+	}
+	if p.host.Asleep() {
+		// A sleeping source wakes itself to transmit; under GAF this
+		// restarts discovery, after which the send proceeds.
+		p.buffer.Push(pkt.Dst, pkt)
+		p.host.WakeByTimer()
+		p.startDiscovery(pkt.Dst)
+		return
+	}
+	now := p.host.Now()
+	if e, ok := p.table.Lookup(pkt.Dst, now); ok {
+		p.forwardData(e.NextHop, pkt)
+		return
+	}
+	p.buffer.Push(pkt.Dst, pkt)
+	p.startDiscovery(pkt.Dst)
+}
+
+func (p *Protocol) deliver(pkt *routing.DataPacket) {
+	p.Stats.DataDelivered++
+	if p.OnDeliver != nil {
+		p.OnDeliver(pkt)
+	}
+}
+
+func (p *Protocol) forwardData(nextHop hostid.ID, pkt *routing.DataPacket) {
+	p.Stats.DataForwarded++
+	p.host.Send(&radio.Frame{
+		Kind: "data", Dst: nextHop,
+		Bytes:   pkt.Bytes + routing.DataHeader + radio.MACHeaderBytes,
+		Payload: &routing.Data{Packet: pkt},
+	})
+}
+
+// startDiscovery floods an AODV RREQ for dst.
+func (p *Protocol) startDiscovery(dst hostid.ID) {
+	if _, busy := p.disc[dst]; busy {
+		return
+	}
+	d := &pendingDiscovery{}
+	d.timer = sim.NewTimer(p.host.Engine(), func() { p.discoveryTimeout(dst, d) })
+	p.disc[dst] = d
+	p.sendRREQ(dst, d)
+}
+
+func (p *Protocol) sendRREQ(dst hostid.ID, d *pendingDiscovery) {
+	if p.host.Asleep() {
+		return
+	}
+	p.seqNo++
+	p.bcast++
+	req := &routing.AODVRREQ{
+		Src:     p.host.ID(),
+		SrcSeq:  p.seqNo,
+		Dst:     dst,
+		BcastID: p.bcast,
+		PrevHop: p.host.ID(),
+	}
+	if e, ok := p.table.Lookup(dst, p.host.Now()); ok {
+		req.DstSeq = e.Seq
+	}
+	p.dup.Seen(req.Src, req.BcastID, p.host.Now())
+	p.Stats.RREQsSent++
+	p.host.Send(&radio.Frame{
+		Kind: "rreq", Dst: hostid.Broadcast,
+		Bytes:   routing.RREQBytes + radio.MACHeaderBytes,
+		Payload: req,
+	})
+	d.timer.Reset(p.opt.DiscoveryTimeout)
+}
+
+func (p *Protocol) discoveryTimeout(dst hostid.ID, d *pendingDiscovery) {
+	if p.stopped {
+		return
+	}
+	if _, ok := p.table.Lookup(dst, p.host.Now()); ok {
+		p.clearDiscovery(dst)
+		p.flush(dst)
+		return
+	}
+	d.tries++
+	if d.tries > p.opt.DiscoveryRetries {
+		dropped := p.buffer.PopAll(dst)
+		p.Stats.DataDropped += uint64(len(dropped))
+		p.clearDiscovery(dst)
+		return
+	}
+	p.sendRREQ(dst, d)
+}
+
+func (p *Protocol) clearDiscovery(dst hostid.ID) {
+	if d, ok := p.disc[dst]; ok {
+		d.timer.Stop()
+		delete(p.disc, dst)
+	}
+}
+
+func (p *Protocol) flush(dst hostid.ID) {
+	now := p.host.Now()
+	e, ok := p.table.Lookup(dst, now)
+	if !ok {
+		return
+	}
+	for _, pkt := range p.buffer.PopAll(dst) {
+		p.forwardData(e.NextHop, pkt)
+	}
+}
+
+// handleRREQ relays or answers a flood.
+func (p *Protocol) handleRREQ(m *routing.AODVRREQ) {
+	if p.host.Asleep() {
+		return
+	}
+	now := p.host.Now()
+	if p.dup.Seen(m.Src, m.BcastID, now) {
+		return
+	}
+	// Reverse route to the requester.
+	p.table.Update(routing.AODVEntry{
+		Dst: m.Src, NextHop: m.PrevHop, Seq: m.SrcSeq, Hops: m.Hops,
+	}, now)
+
+	if m.Dst == p.host.ID() {
+		p.seqNo++
+		p.sendRREP(&routing.AODVRREP{
+			Src: m.Src, Dst: m.Dst, DstSeq: p.seqNo, Hops: 0, To: m.PrevHop,
+		})
+		return
+	}
+	// Endpoints do not relay floods: routes must avoid them.
+	if p.endpoint {
+		return
+	}
+	// Only the cell's active node relays, keeping fidelity while peers
+	// sleep. Discovery-state nodes relay too (no active node may exist
+	// yet).
+	fwd := *m
+	fwd.PrevHop = p.host.ID()
+	fwd.Hops = m.Hops + 1
+	p.Stats.RREQsSent++
+	p.host.Send(&radio.Frame{
+		Kind: "rreq", Dst: hostid.Broadcast,
+		Bytes:   routing.RREQBytes + radio.MACHeaderBytes,
+		Payload: &fwd,
+	})
+}
+
+func (p *Protocol) sendRREP(rep *routing.AODVRREP) {
+	p.Stats.RREPsSent++
+	p.host.Send(&radio.Frame{
+		Kind: "rrep", Dst: rep.To,
+		Bytes:   routing.RREPBytes + radio.MACHeaderBytes,
+		Payload: rep,
+	})
+}
+
+// handleRREP installs the forward route — next hop is whoever
+// transmitted this copy, exactly as AODV uses the sender MAC address —
+// and relays the reply toward the origin along the reverse route.
+func (p *Protocol) handleRREP(m *routing.AODVRREP, from hostid.ID) {
+	if p.host.Asleep() || m.To != p.host.ID() {
+		return
+	}
+	now := p.host.Now()
+	p.table.Update(routing.AODVEntry{
+		Dst: m.Dst, NextHop: from, Seq: m.DstSeq, Hops: m.Hops + 1,
+	}, now)
+	if m.Src == p.host.ID() {
+		// Discovery complete at the origin.
+		p.clearDiscovery(m.Dst)
+		p.flush(m.Dst)
+		return
+	}
+	rev, ok := p.table.Lookup(m.Src, now)
+	if !ok {
+		return
+	}
+	fwd := *m
+	fwd.Hops = m.Hops + 1
+	fwd.To = rev.NextHop
+	p.sendRREP(&fwd)
+}
+
+// TxFailed is the link-layer retry-exhausted indication: the next hop is
+// gone. Purge routes through it and re-route the packet (AODV-style
+// link-layer feedback).
+func (p *Protocol) TxFailed(f *radio.Frame) {
+	if p.stopped || p.host.Asleep() {
+		return
+	}
+	m, ok := f.Payload.(*routing.Data)
+	if !ok {
+		return
+	}
+	p.table.RemoveVia(f.Dst)
+	pkt := m.Packet
+	if p.host.Now()-pkt.SentAt > 10 {
+		p.Stats.DataDropped++
+		return
+	}
+	if pkt.Src == p.host.ID() {
+		// Our own packet: buffer and re-discover.
+		p.buffer.Push(pkt.Dst, pkt)
+		p.startDiscovery(pkt.Dst)
+		return
+	}
+	// Transit packet: try an alternate route, else report back.
+	if e, ok := p.table.Lookup(pkt.Dst, p.host.Now()); ok {
+		p.forwardData(e.NextHop, pkt)
+		return
+	}
+	p.Stats.DataDropped++
+	if rev, ok := p.table.Lookup(pkt.Src, p.host.Now()); ok {
+		p.Stats.RERRsSent++
+		p.host.Send(&radio.Frame{
+			Kind: "rerr", Dst: rev.NextHop,
+			Bytes:   routing.RERRBytes + radio.MACHeaderBytes,
+			Payload: &routing.RERR{Dst: pkt.Dst},
+		})
+	}
+}
+
+// handleRERR purges a broken route and forwards the report toward the
+// source.
+func (p *Protocol) handleRERR(m *routing.RERR, from hostid.ID) {
+	if p.host.Asleep() {
+		return
+	}
+	p.table.Remove(m.Dst)
+	_ = from
+}
+
+// handleData delivers or relays a data frame.
+func (p *Protocol) handleData(m *routing.Data) {
+	if p.host.Asleep() {
+		return
+	}
+	pkt := m.Packet
+	if pkt.Dst == p.host.ID() {
+		p.deliver(pkt)
+		return
+	}
+	if p.endpoint {
+		return // endpoints never relay
+	}
+	now := p.host.Now()
+	if e, ok := p.table.Lookup(pkt.Dst, now); ok {
+		p.table.Touch(pkt.Dst, now)
+		p.forwardData(e.NextHop, pkt)
+		return
+	}
+	// Broken route: drop and tell the source.
+	p.Stats.DataDropped++
+	if rev, ok := p.table.Lookup(pkt.Src, now); ok {
+		p.Stats.RERRsSent++
+		p.host.Send(&radio.Frame{
+			Kind: "rerr", Dst: rev.NextHop,
+			Bytes:   routing.RERRBytes + radio.MACHeaderBytes,
+			Payload: &routing.RERR{Dst: pkt.Dst},
+		})
+	}
+}

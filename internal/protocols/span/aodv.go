@@ -1,0 +1,293 @@
+package span
+
+import (
+	"ecgrid/internal/hostid"
+	"ecgrid/internal/radio"
+	"ecgrid/internal/routing"
+	"ecgrid/internal/sim"
+)
+
+// AODV over the coordinator backbone: only coordinators relay floods and
+// transit data; any awake host may originate, terminate, or answer for
+// itself. A final-hop coordinator holding traffic for a sleeping
+// destination buffers it until the destination's next wake beacon — the
+// PSM behaviour the paper contrasts with ECGRID's instant RAS paging.
+
+// SubmitData accepts an application packet.
+func (p *Protocol) SubmitData(pkt *routing.DataPacket) {
+	if p.stopped {
+		return
+	}
+	if pkt.Dst == p.host.ID() {
+		p.deliver(pkt)
+		return
+	}
+	if p.host.Asleep() {
+		// Wake out of the duty cycle to transmit.
+		p.buffer.Push(pkt.Dst, pkt)
+		p.host.WakeByTimer()
+		p.startDiscovery(pkt.Dst)
+		return
+	}
+	if e, ok := p.table.Lookup(pkt.Dst, p.host.Now()); ok {
+		p.forwardData(e.NextHop, pkt)
+		return
+	}
+	p.buffer.Push(pkt.Dst, pkt)
+	p.startDiscovery(pkt.Dst)
+}
+
+func (p *Protocol) deliver(pkt *routing.DataPacket) {
+	p.Stats.DataDelivered++
+	if p.OnDeliver != nil {
+		p.OnDeliver(pkt)
+	}
+}
+
+func (p *Protocol) forwardData(nextHop hostid.ID, pkt *routing.DataPacket) {
+	// Sleeping next hop or destination: hold until its wake beacon.
+	if n, ok := p.neighbors[nextHop]; ok && !n.coordinator && nextHop == pkt.Dst {
+		// Final hop to a duty-cycled host: it may be asleep right now;
+		// buffering until its beacon-window HELLO is Span's PSM
+		// behaviour. If it is awake, the flush happens within one
+		// beacon period anyway.
+		p.buffer.Push(pkt.Dst, pkt)
+		return
+	}
+	p.Stats.DataForwarded++
+	p.host.Send(&radio.Frame{
+		Kind: "data", Dst: nextHop,
+		Bytes:   pkt.Bytes + routing.DataHeader + radio.MACHeaderBytes,
+		Payload: &routing.Data{Packet: pkt},
+	})
+}
+
+// flushTo sends everything buffered for a host that just proved awake.
+func (p *Protocol) flushTo(dst hostid.ID) {
+	if p.host.Asleep() {
+		return
+	}
+	pkts := p.buffer.PopAll(dst)
+	for _, pkt := range pkts {
+		p.Stats.DataForwarded++
+		p.host.Send(&radio.Frame{
+			Kind: "data", Dst: dst,
+			Bytes:   pkt.Bytes + routing.DataHeader + radio.MACHeaderBytes,
+			Payload: &routing.Data{Packet: pkt},
+		})
+	}
+}
+
+func (p *Protocol) startDiscovery(dst hostid.ID) {
+	if _, busy := p.disc[dst]; busy {
+		return
+	}
+	d := &pendingDiscovery{}
+	d.timer = sim.NewTimer(p.host.Engine(), func() { p.discoveryTimeout(dst, d) })
+	p.disc[dst] = d
+	p.sendRREQ(dst, d)
+}
+
+func (p *Protocol) sendRREQ(dst hostid.ID, d *pendingDiscovery) {
+	if p.host.Asleep() {
+		return
+	}
+	p.seqNo++
+	p.bcast++
+	req := &routing.AODVRREQ{
+		Src: p.host.ID(), SrcSeq: p.seqNo, Dst: dst,
+		BcastID: p.bcast, PrevHop: p.host.ID(),
+	}
+	p.dup.Seen(req.Src, req.BcastID, p.host.Now())
+	p.Stats.RREQsSent++
+	p.host.Send(&radio.Frame{
+		Kind: "rreq", Dst: hostid.Broadcast,
+		Bytes:   routing.RREQBytes + radio.MACHeaderBytes,
+		Payload: req,
+	})
+	d.timer.Reset(p.opt.DiscoveryTimeout)
+}
+
+func (p *Protocol) discoveryTimeout(dst hostid.ID, d *pendingDiscovery) {
+	if p.stopped {
+		return
+	}
+	if p.host.Asleep() {
+		// Mid-duty-cycle: try again in the next awake window.
+		d.timer.Reset(p.opt.BeaconPeriod)
+		return
+	}
+	if _, ok := p.table.Lookup(dst, p.host.Now()); ok {
+		p.clearDiscovery(dst)
+		p.flushRouted(dst)
+		return
+	}
+	d.tries++
+	if d.tries > p.opt.DiscoveryRetries {
+		dropped := p.buffer.PopAll(dst)
+		p.Stats.DataDropped += uint64(len(dropped))
+		p.clearDiscovery(dst)
+		return
+	}
+	p.sendRREQ(dst, d)
+}
+
+func (p *Protocol) clearDiscovery(dst hostid.ID) {
+	if d, ok := p.disc[dst]; ok {
+		d.timer.Stop()
+		delete(p.disc, dst)
+	}
+}
+
+func (p *Protocol) flushRouted(dst hostid.ID) {
+	if p.host.Asleep() {
+		return
+	}
+	e, ok := p.table.Lookup(dst, p.host.Now())
+	if !ok {
+		return
+	}
+	for _, pkt := range p.buffer.PopAll(dst) {
+		p.forwardData(e.NextHop, pkt)
+	}
+}
+
+func (p *Protocol) handleRREQ(m *routing.AODVRREQ) {
+	if p.host.Asleep() {
+		return
+	}
+	now := p.host.Now()
+	if p.dup.Seen(m.Src, m.BcastID, now) {
+		return
+	}
+	p.table.Update(routing.AODVEntry{
+		Dst: m.Src, NextHop: m.PrevHop, Seq: m.SrcSeq, Hops: m.Hops,
+	}, now)
+
+	if m.Dst == p.host.ID() {
+		p.seqNo++
+		p.sendRREP(&routing.AODVRREP{Src: m.Src, Dst: m.Dst, DstSeq: p.seqNo, To: m.PrevHop})
+		return
+	}
+	// A coordinator answers for a duty-cycled neighbor that may be
+	// asleep: it knows the neighbor from its HELLOs and will buffer the
+	// traffic until the neighbor's wake beacon.
+	if p.coordinator {
+		if n, ok := p.neighbors[m.Dst]; ok && now-n.seen <= p.opt.NeighborTTL {
+			p.seqNo++
+			p.Stats.RREPsSent++
+			p.host.Send(&radio.Frame{
+				Kind: "rrep", Dst: m.PrevHop,
+				Bytes:   routing.RREPBytes + radio.MACHeaderBytes,
+				Payload: &routing.AODVRREP{Src: m.Src, Dst: m.Dst, DstSeq: p.seqNo, Hops: 1, To: m.PrevHop},
+			})
+			// Our own next hop for the destination is the destination
+			// itself.
+			p.table.Update(routing.AODVEntry{Dst: m.Dst, NextHop: m.Dst, Seq: p.seqNo, Hops: 1}, now)
+			return
+		}
+	}
+	// Only the backbone relays floods.
+	if !p.coordinator {
+		return
+	}
+	fwd := *m
+	fwd.PrevHop = p.host.ID()
+	fwd.Hops = m.Hops + 1
+	p.Stats.RREQsSent++
+	p.host.Send(&radio.Frame{
+		Kind: "rreq", Dst: hostid.Broadcast,
+		Bytes:   routing.RREQBytes + radio.MACHeaderBytes,
+		Payload: &fwd,
+	})
+}
+
+func (p *Protocol) sendRREP(rep *routing.AODVRREP) {
+	p.Stats.RREPsSent++
+	p.host.Send(&radio.Frame{
+		Kind: "rrep", Dst: rep.To,
+		Bytes:   routing.RREPBytes + radio.MACHeaderBytes,
+		Payload: rep,
+	})
+}
+
+func (p *Protocol) handleRREP(m *routing.AODVRREP, from hostid.ID) {
+	if p.host.Asleep() || m.To != p.host.ID() {
+		return
+	}
+	now := p.host.Now()
+	p.table.Update(routing.AODVEntry{
+		Dst: m.Dst, NextHop: from, Seq: m.DstSeq, Hops: m.Hops + 1,
+	}, now)
+	if m.Src == p.host.ID() {
+		p.clearDiscovery(m.Dst)
+		p.flushRouted(m.Dst)
+		return
+	}
+	rev, ok := p.table.Lookup(m.Src, now)
+	if !ok {
+		return
+	}
+	fwd := *m
+	fwd.Hops = m.Hops + 1
+	fwd.To = rev.NextHop
+	p.sendRREP(&fwd)
+}
+
+func (p *Protocol) handleData(m *routing.Data) {
+	if p.host.Asleep() {
+		return
+	}
+	pkt := m.Packet
+	if pkt.Dst == p.host.ID() {
+		p.deliver(pkt)
+		return
+	}
+	now := p.host.Now()
+	if e, ok := p.table.Lookup(pkt.Dst, now); ok {
+		p.table.Touch(pkt.Dst, now)
+		p.forwardData(e.NextHop, pkt)
+		return
+	}
+	p.Stats.DataDropped++
+	if rev, ok := p.table.Lookup(pkt.Src, now); ok {
+		p.host.Send(&radio.Frame{
+			Kind: "rerr", Dst: rev.NextHop,
+			Bytes:   routing.RERRBytes + radio.MACHeaderBytes,
+			Payload: &routing.RERR{Dst: pkt.Dst},
+		})
+	}
+}
+
+// TxFailed purges routes through a dead next hop and re-routes the
+// packet, as in the other protocols.
+func (p *Protocol) TxFailed(f *radio.Frame) {
+	if p.stopped || p.host.Asleep() {
+		return
+	}
+	m, ok := f.Payload.(*routing.Data)
+	if !ok {
+		return
+	}
+	p.table.RemoveVia(f.Dst)
+	pkt := m.Packet
+	if p.host.Now()-pkt.SentAt > 10 {
+		p.Stats.DataDropped++
+		return
+	}
+	if e, ok := p.table.Lookup(pkt.Dst, p.host.Now()); ok {
+		p.forwardData(e.NextHop, pkt)
+		return
+	}
+	if pkt.Src == p.host.ID() {
+		p.buffer.Push(pkt.Dst, pkt)
+		p.startDiscovery(pkt.Dst)
+		return
+	}
+	// Final-hop loss to a duty-cycled destination: hold for its beacon.
+	if pkt.Dst == f.Dst {
+		p.buffer.Push(pkt.Dst, pkt)
+		return
+	}
+	p.Stats.DataDropped++
+}

@@ -1,0 +1,443 @@
+// Package span implements a faithful-in-spirit version of Span (Chen,
+// Jamieson, Balakrishnan, Morris; MobiCom'01), the third protocol the
+// paper positions ECGRID against in §1.
+//
+// Span elects a connected backbone of always-on coordinators using only
+// topology knowledge (no GPS): a host volunteers as coordinator when two
+// of its neighbors cannot reach each other directly or through an
+// existing coordinator, after a randomized backoff that favours
+// high-energy, high-utility hosts. Every other host runs an 802.11
+// PSM-style duty cycle — awake for a beacon window each period, asleep
+// the rest — because, unlike ECGRID, Span has no remote wake hardware:
+// traffic for a sleeping host waits for its next scheduled window.
+//
+// The paper's §1 makes two comparative claims this package lets the
+// repository test:
+//
+//   - ECGRID needs no periodic wakeups while "Span non-coordinators ...
+//     wake up periodically" (the duty cycle bounds Span's saving), and
+//   - "Span (not location-aware) does not benefit from increasing host
+//     density": the coordinator backbone scales with coverage, not with
+//     density, and every non-coordinator still pays the duty cycle.
+//
+// Routing is host-by-host AODV restricted to the coordinator backbone,
+// with final-hop buffering for sleeping destinations flushed on their
+// periodic wake beacons.
+package span
+
+import (
+	"fmt"
+	"sort"
+
+	"ecgrid/internal/grid"
+	"ecgrid/internal/hostid"
+	"ecgrid/internal/node"
+	"ecgrid/internal/radio"
+	"ecgrid/internal/routing"
+	"ecgrid/internal/sim"
+)
+
+// Options are Span's tunables.
+type Options struct {
+	// HelloPeriod is the interval between topology announcements.
+	HelloPeriod float64
+	// BeaconPeriod and AwakeFrac define the PSM duty cycle of
+	// non-coordinators: awake AwakeFrac of every period.
+	BeaconPeriod float64
+	AwakeFrac    float64
+	// CheckPeriod is how often the eligibility/withdrawal rules run.
+	CheckPeriod float64
+	// WithdrawGrace delays withdrawal so the backbone does not flap.
+	WithdrawGrace float64
+	// NeighborTTL expires neighbors that stopped announcing. Must
+	// comfortably exceed BeaconPeriod: sleeping neighbors announce only
+	// once per cycle.
+	NeighborTTL float64
+	// AODV parameters, as in the gaf package.
+	RouteTTL         float64
+	DupTTL           float64
+	BufferPerDest    int
+	DiscoveryTimeout float64
+	DiscoveryRetries int
+}
+
+// DefaultOptions returns the configuration used by the extension
+// experiments.
+func DefaultOptions() Options {
+	return Options{
+		HelloPeriod:      1.0,
+		BeaconPeriod:     1.0,
+		AwakeFrac:        0.25,
+		CheckPeriod:      1.0,
+		WithdrawGrace:    4.0,
+		NeighborTTL:      4.0,
+		RouteTTL:         30,
+		DupTTL:           30,
+		BufferPerDest:    32,
+		DiscoveryTimeout: 0.6,
+		DiscoveryRetries: 3,
+	}
+}
+
+// Validate reports configuration mistakes.
+func (o Options) Validate() error {
+	switch {
+	case o.HelloPeriod <= 0 || o.BeaconPeriod <= 0 || o.CheckPeriod <= 0:
+		return fmt.Errorf("span: periods must be positive")
+	case o.AwakeFrac <= 0 || o.AwakeFrac >= 1:
+		return fmt.Errorf("span: AwakeFrac %v must be in (0, 1)", o.AwakeFrac)
+	case o.NeighborTTL <= o.BeaconPeriod:
+		return fmt.Errorf("span: NeighborTTL %v must exceed BeaconPeriod %v", o.NeighborTTL, o.BeaconPeriod)
+	case o.BufferPerDest <= 0 || o.DupTTL <= 0 || o.DiscoveryTimeout <= 0 || o.DiscoveryRetries < 0:
+		return fmt.Errorf("span: invalid AODV parameters")
+	case o.WithdrawGrace < 0:
+		return fmt.Errorf("span: negative WithdrawGrace")
+	}
+	return nil
+}
+
+// Stats counts protocol events on one host.
+type Stats struct {
+	HellosSent     uint64
+	CoordAnnounces uint64
+	Withdrawals    uint64
+	RREQsSent      uint64
+	RREPsSent      uint64
+	DataForwarded  uint64
+	DataDelivered  uint64
+	DataDropped    uint64
+	SleepsEntered  uint64
+}
+
+// neighborInfo is what a host knows about a neighbor from its HELLOs.
+type neighborInfo struct {
+	coordinator bool
+	seen        float64
+	neighbors   map[hostid.ID]bool // the neighbor's own neighbor set
+}
+
+// Hello is Span's topology announcement.
+type Hello struct {
+	ID          hostid.ID
+	Coordinator bool
+	Rbrc        float64
+	Neighbors   []hostid.ID
+}
+
+// helloBytes sizes the announcement: base fields plus 4 bytes per listed
+// neighbor.
+func helloBytes(neighbors int) int { return 16 + 4*neighbors }
+
+// Protocol is one host's Span instance.
+type Protocol struct {
+	host *node.Host
+	opt  Options
+
+	coordinator   bool
+	coordSince    float64
+	withdrawSince float64 // when withdrawal first looked safe; 0 = not pending
+
+	neighbors map[hostid.ID]*neighborInfo
+
+	helloTicker *sim.Ticker
+	checkTicker *sim.Ticker
+	cycleTimer  *sim.Timer // PSM duty cycle
+	pendingAnn  *sim.Event // randomized coordinator announcement backoff
+
+	table  *routing.AODVTable
+	dup    *routing.DupCache
+	buffer *routing.Buffer
+	disc   map[hostid.ID]*pendingDiscovery
+	seqNo  uint32
+	bcast  uint32
+
+	// OnDeliver receives packets whose final destination is this host.
+	OnDeliver func(pkt *routing.DataPacket)
+
+	stopped bool
+	Stats   Stats
+}
+
+type pendingDiscovery struct {
+	tries int
+	timer *sim.Timer
+}
+
+// New creates a Span instance for host h.
+func New(h *node.Host, opt Options) *Protocol {
+	if err := opt.Validate(); err != nil {
+		panic(err)
+	}
+	p := &Protocol{
+		host:      h,
+		opt:       opt,
+		neighbors: make(map[hostid.ID]*neighborInfo),
+		table:     routing.NewAODVTable(opt.RouteTTL),
+		dup:       routing.NewDupCache(opt.DupTTL),
+		buffer:    routing.NewBuffer(opt.BufferPerDest),
+		disc:      make(map[hostid.ID]*pendingDiscovery),
+	}
+	p.cycleTimer = sim.NewTimer(h.Engine(), p.cycleSleep)
+	return p
+}
+
+// Coordinator reports whether the host currently serves on the backbone.
+func (p *Protocol) Coordinator() bool { return p.coordinator }
+
+// --- node.Protocol -----------------------------------------------------------
+
+// Start launches the announcement, eligibility, and duty-cycle machinery.
+func (p *Protocol) Start() {
+	jitter := p.host.RNG().Uniform("span.phase", 0, p.opt.HelloPeriod/2)
+	p.helloTicker = sim.NewTicker(p.host.Engine(), p.opt.HelloPeriod, jitter, p.helloTick)
+	p.checkTicker = sim.NewTicker(p.host.Engine(), p.opt.CheckPeriod, jitter/2, p.checkTick)
+	p.sendHello()
+	// Give the first topology exchange a couple of periods before the
+	// duty cycle starts putting hosts to sleep.
+	p.cycleTimer.Reset(2*p.opt.HelloPeriod + jitter)
+}
+
+// Stopped cancels everything on battery death.
+func (p *Protocol) Stopped() {
+	p.stopped = true
+	if p.helloTicker != nil {
+		p.helloTicker.Stop()
+	}
+	if p.checkTicker != nil {
+		p.checkTicker.Stop()
+	}
+	p.cycleTimer.Stop()
+	if p.pendingAnn != nil {
+		p.host.Engine().Cancel(p.pendingAnn)
+	}
+	for _, d := range p.disc {
+		d.timer.Stop()
+	}
+}
+
+// Woken resumes the awake part of the duty cycle.
+func (p *Protocol) Woken(cause node.WakeCause) {
+	if p.stopped {
+		return
+	}
+	// Announce presence so forwarders flush buffered traffic, then stay
+	// awake for the window.
+	p.sendHello()
+	p.cycleTimer.Reset(p.opt.AwakeFrac * p.opt.BeaconPeriod)
+}
+
+// CellChanged is a no-op: Span is not location-aware.
+func (p *Protocol) CellChanged(old, cur grid.Coord) {}
+
+// Receive dispatches frames.
+func (p *Protocol) Receive(f *radio.Frame) {
+	if p.stopped {
+		return
+	}
+	switch m := f.Payload.(type) {
+	case *Hello:
+		p.handleHello(m)
+	case *routing.AODVRREQ:
+		p.handleRREQ(m)
+	case *routing.AODVRREP:
+		p.handleRREP(m, f.Src)
+	case *routing.RERR:
+		p.table.Remove(m.Dst)
+	case *routing.Data:
+		p.handleData(m)
+	default:
+		panic(fmt.Sprintf("span: unknown payload %T", f.Payload))
+	}
+}
+
+// --- duty cycle ----------------------------------------------------------------
+
+// cycleSleep ends an awake window: non-coordinators sleep until the next
+// beacon.
+func (p *Protocol) cycleSleep() {
+	if p.stopped || p.coordinator || p.host.Asleep() {
+		// Coordinators stay awake; re-arm the cycle so a later
+		// withdrawal resumes sleeping.
+		p.cycleTimer.Reset(p.opt.BeaconPeriod)
+		return
+	}
+	if p.pendingAnn != nil {
+		// About to volunteer: stay awake one more window.
+		p.cycleTimer.Reset(p.opt.AwakeFrac * p.opt.BeaconPeriod)
+		return
+	}
+	sleepFor := (1 - p.opt.AwakeFrac) * p.opt.BeaconPeriod
+	p.Stats.SleepsEntered++
+	wake := sim.NewTimer(p.host.Engine(), func() { p.host.WakeByTimer() })
+	wake.Reset(sleepFor)
+	p.host.Sleep()
+}
+
+// --- topology and the coordinator rule ------------------------------------------
+
+func (p *Protocol) helloTick() {
+	if p.stopped || p.host.Asleep() {
+		return
+	}
+	p.sendHello()
+}
+
+func (p *Protocol) sendHello() {
+	ids := p.freshNeighborIDs()
+	p.Stats.HellosSent++
+	p.host.Send(&radio.Frame{
+		Kind: "span-hello", Dst: hostid.Broadcast,
+		Bytes: helloBytes(len(ids)) + radio.MACHeaderBytes,
+		Payload: &Hello{
+			ID:          p.host.ID(),
+			Coordinator: p.coordinator,
+			Rbrc:        p.host.Battery().Rbrc(p.host.Now()),
+			Neighbors:   ids,
+		},
+	})
+}
+
+func (p *Protocol) freshNeighborIDs() []hostid.ID {
+	now := p.host.Now()
+	ids := make([]hostid.ID, 0, len(p.neighbors))
+	for id, n := range p.neighbors {
+		if now-n.seen <= p.opt.NeighborTTL {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func (p *Protocol) handleHello(m *Hello) {
+	n, ok := p.neighbors[m.ID]
+	if !ok {
+		n = &neighborInfo{neighbors: make(map[hostid.ID]bool)}
+		p.neighbors[m.ID] = n
+	}
+	n.coordinator = m.Coordinator
+	n.seen = p.host.Now()
+	for id := range n.neighbors {
+		delete(n.neighbors, id)
+	}
+	for _, id := range m.Neighbors {
+		n.neighbors[id] = true
+	}
+	// The sender is provably awake: flush anything held for its beacon
+	// window.
+	if p.buffer.Pending(m.ID) > 0 {
+		p.flushTo(m.ID)
+	}
+}
+
+// checkTick applies the coordinator eligibility and withdrawal rules.
+func (p *Protocol) checkTick() {
+	if p.stopped || p.host.Asleep() {
+		return
+	}
+	p.pruneNeighbors()
+	if p.coordinator {
+		p.maybeWithdraw()
+		return
+	}
+	p.maybeVolunteer()
+}
+
+func (p *Protocol) pruneNeighbors() {
+	now := p.host.Now()
+	for id, n := range p.neighbors {
+		if now-n.seen > p.opt.NeighborTTL {
+			delete(p.neighbors, id)
+		}
+	}
+}
+
+// uncoveredPair reports whether some pair of this host's neighbors cannot
+// reach each other directly or through a coordinator other than `skip`
+// (pass hostid.None to exclude nobody). This is Span's eligibility
+// condition, restricted to one intermediate coordinator.
+func (p *Protocol) uncoveredPair(skip hostid.ID) bool {
+	ids := p.freshNeighborIDs()
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			u, v := p.neighbors[ids[i]], p.neighbors[ids[j]]
+			if u.neighbors[ids[j]] || v.neighbors[ids[i]] {
+				continue // direct link
+			}
+			if p.coveredByCoordinator(ids[i], ids[j], skip) {
+				continue
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// coveredByCoordinator reports whether some coordinator (≠ skip) is a
+// mutual neighbor of a and b.
+func (p *Protocol) coveredByCoordinator(a, b, skip hostid.ID) bool {
+	for cid, c := range p.neighbors {
+		if cid == skip || !c.coordinator {
+			continue
+		}
+		if now := p.host.Now(); now-c.seen > p.opt.NeighborTTL {
+			continue
+		}
+		if c.neighbors[a] && c.neighbors[b] {
+			return true
+		}
+	}
+	return false
+}
+
+// maybeVolunteer schedules a coordinator announcement when the
+// eligibility rule holds, after Span's randomized backoff (favouring
+// high-energy hosts so they win the race).
+func (p *Protocol) maybeVolunteer() {
+	if p.pendingAnn != nil {
+		return
+	}
+	if !p.uncoveredPair(hostid.None) {
+		return
+	}
+	rbrc := p.host.Battery().Rbrc(p.host.Now())
+	backoff := p.host.RNG().Uniform("span.backoff", 0, 1) * (1.5 - rbrc) * p.opt.CheckPeriod
+	p.pendingAnn = p.host.Engine().Schedule(backoff, func() {
+		p.pendingAnn = nil
+		if p.stopped || p.coordinator || p.host.Asleep() {
+			return
+		}
+		// Re-check: someone may have volunteered during the backoff.
+		if !p.uncoveredPair(hostid.None) {
+			return
+		}
+		p.coordinator = true
+		p.coordSince = p.host.Now()
+		p.withdrawSince = 0
+		p.Stats.CoordAnnounces++
+		p.sendHello()
+	})
+}
+
+// maybeWithdraw steps down when the backbone covers every neighbor pair
+// without us, after a grace period.
+func (p *Protocol) maybeWithdraw() {
+	if p.uncoveredPair(p.host.ID()) {
+		p.withdrawSince = 0
+		return
+	}
+	now := p.host.Now()
+	if p.withdrawSince == 0 {
+		p.withdrawSince = now
+		return
+	}
+	if now-p.withdrawSince < p.opt.WithdrawGrace {
+		return
+	}
+	p.coordinator = false
+	p.withdrawSince = 0
+	p.Stats.Withdrawals++
+	p.sendHello()
+	// The duty cycle resumes at its next firing (cycleSleep re-arms
+	// while we were coordinator).
+}

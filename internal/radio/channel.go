@@ -1,0 +1,401 @@
+package radio
+
+import (
+	"fmt"
+	"sort"
+
+	"ecgrid/internal/energy"
+	"ecgrid/internal/geom"
+	"ecgrid/internal/hostid"
+	"ecgrid/internal/sim"
+)
+
+// Endpoint is what the channel needs from an attached host. The node
+// layer implements it.
+type Endpoint interface {
+	// ID returns the host identifier.
+	ID() hostid.ID
+	// Position returns the host's current location.
+	Position() geom.Point
+	// Battery returns the host's battery; the channel drives its
+	// radio-mode transitions.
+	Battery() *energy.Battery
+	// Deliver hands a successfully received frame to the host's
+	// protocol stack.
+	Deliver(f *Frame)
+}
+
+// transmission is a frame in flight.
+type transmission struct {
+	frame   *Frame
+	sender  *station
+	from    geom.Point // sender position at transmission start
+	ends    float64
+	rx      []*reception
+	attempt int // retry count for unicast
+}
+
+// reception is one receiver's view of a transmission.
+type reception struct {
+	tx        *transmission
+	st        *station
+	corrupted bool
+}
+
+// station is the channel-side state of an attached endpoint.
+type station struct {
+	ep        Endpoint
+	listening bool
+	detached  bool
+
+	transmitting *transmission
+	receiving    map[*transmission]*reception
+	queue        []*queued
+	accessing    bool // backoff event pending
+	cwSlots      int  // current contention window
+}
+
+// queued is a frame waiting for medium access.
+type queued struct {
+	frame   *Frame
+	attempt int
+}
+
+// mode derives the energy mode the station should be charged at.
+func (s *station) mode() energy.Mode {
+	switch {
+	case !s.listening:
+		return energy.Sleep
+	case s.transmitting != nil:
+		return energy.Transmit
+	case len(s.receiving) > 0:
+		return energy.Receive
+	default:
+		return energy.Idle
+	}
+}
+
+// Channel is the shared wireless medium. All methods must be called from
+// simulation events (the engine is single-threaded).
+type Channel struct {
+	engine   *sim.Engine
+	rng      *sim.RNG
+	cfg      Config
+	stations map[hostid.ID]*station
+	order    []hostid.ID // attached IDs, sorted: deterministic iteration
+	active   map[*transmission]struct{}
+	counters Counters
+	perKind  map[string]KindCount
+
+	// Sniffer, when non-nil, observes every transmission start. Tests
+	// and the trace layer use it.
+	Sniffer func(f *Frame, at float64)
+}
+
+// NewChannel creates a medium with the given parameters.
+func NewChannel(engine *sim.Engine, rng *sim.RNG, cfg Config) *Channel {
+	if cfg.Range <= 0 || cfg.BitrateBps <= 0 {
+		panic("radio: invalid config")
+	}
+	if cfg.MinBackoffSlots < 1 {
+		cfg.MinBackoffSlots = 1
+	}
+	if cfg.MaxBackoffSlots < cfg.MinBackoffSlots {
+		cfg.MaxBackoffSlots = cfg.MinBackoffSlots
+	}
+	return &Channel{
+		engine:   engine,
+		rng:      rng,
+		cfg:      cfg,
+		stations: make(map[hostid.ID]*station),
+		active:   make(map[*transmission]struct{}),
+		perKind:  make(map[string]KindCount),
+	}
+}
+
+// Counters returns a snapshot of the channel-wide MAC statistics.
+func (c *Channel) Counters() Counters { return c.counters }
+
+// PerKind returns a copy of the per-frame-kind air usage (transmissions,
+// including MAC retries).
+func (c *Channel) PerKind() map[string]KindCount {
+	out := make(map[string]KindCount, len(c.perKind))
+	for k, v := range c.perKind {
+		out[k] = v
+	}
+	return out
+}
+
+// Config returns the channel parameters.
+func (c *Channel) Config() Config { return c.cfg }
+
+// Attach registers an endpoint. Hosts start in listening (awake) state.
+func (c *Channel) Attach(ep Endpoint) {
+	id := ep.ID()
+	if _, dup := c.stations[id]; dup {
+		panic(fmt.Sprintf("radio: duplicate attach of %v", id))
+	}
+	c.stations[id] = &station{
+		ep:        ep,
+		listening: true,
+		receiving: make(map[*transmission]*reception),
+		cwSlots:   c.cfg.MinBackoffSlots,
+	}
+	i := sort.Search(len(c.order), func(i int) bool { return c.order[i] >= id })
+	c.order = append(c.order, 0)
+	copy(c.order[i+1:], c.order[i:])
+	c.order[i] = id
+}
+
+// Detach removes a host (battery death). In-flight receptions at the host
+// are dropped; its in-flight transmission, if any, completes on the air
+// but is never retried.
+func (c *Channel) Detach(id hostid.ID) {
+	st, ok := c.stations[id]
+	if !ok {
+		return
+	}
+	st.detached = true
+	st.queue = nil
+	for tx, r := range st.receiving {
+		r.corrupted = true
+		delete(st.receiving, tx)
+	}
+	delete(c.stations, id)
+	if i := sort.Search(len(c.order), func(i int) bool { return c.order[i] >= id }); i < len(c.order) && c.order[i] == id {
+		c.order = append(c.order[:i], c.order[i+1:]...)
+	}
+}
+
+// SetListening flips a host between awake (true) and asleep (false).
+// Falling asleep aborts any receptions in progress; the host keeps any
+// transmission it already started (protocols never sleep mid-send).
+// The battery mode is updated accordingly.
+func (c *Channel) SetListening(id hostid.ID, on bool) {
+	st, ok := c.stations[id]
+	if !ok {
+		return
+	}
+	if st.listening == on {
+		return
+	}
+	st.listening = on
+	if !on {
+		for tx, r := range st.receiving {
+			r.corrupted = true
+			delete(st.receiving, tx)
+		}
+	}
+	c.updateMode(st)
+}
+
+// Listening reports whether the host is attached and awake.
+func (c *Channel) Listening(id hostid.ID) bool {
+	st, ok := c.stations[id]
+	return ok && st.listening
+}
+
+func (c *Channel) updateMode(st *station) {
+	if st.detached {
+		return
+	}
+	st.ep.Battery().SetMode(c.engine.Now(), st.mode())
+}
+
+// Send queues a frame for transmission from src. The frame goes on air
+// after carrier sense and backoff. Sending from a sleeping or detached
+// host is a protocol bug and panics.
+func (c *Channel) Send(src hostid.ID, f *Frame) {
+	st, ok := c.stations[src]
+	if !ok {
+		panic(fmt.Sprintf("radio: Send from detached host %v", src))
+	}
+	if !st.listening {
+		panic(fmt.Sprintf("radio: Send from sleeping host %v", src))
+	}
+	if f.Bytes <= 0 {
+		panic(fmt.Sprintf("radio: frame with non-positive size: %v", f))
+	}
+	f.Src = src
+	if c.cfg.QueueLimit > 0 && len(st.queue) >= c.cfg.QueueLimit {
+		return // tail drop
+	}
+	c.counters.FramesQueued++
+	st.queue = append(st.queue, &queued{frame: f})
+	c.maybeAccess(st)
+}
+
+// maybeAccess starts the medium-access procedure if the station is idle
+// with work queued.
+func (c *Channel) maybeAccess(st *station) {
+	if st.accessing || st.transmitting != nil || len(st.queue) == 0 || st.detached || !st.listening {
+		return
+	}
+	st.accessing = true
+	wait := c.cfg.DIFS + float64(c.rng.Intn("radio.backoff", st.cwSlots))*c.cfg.SlotTime
+	c.engine.Schedule(wait, func() { c.tryTransmit(st) })
+}
+
+// busyAround reports whether any transmission is audible at p.
+func (c *Channel) busyAround(p geom.Point) bool {
+	r2 := c.cfg.Range * c.cfg.Range
+	for tx := range c.active {
+		if tx.from.Dist2(p) <= r2 {
+			return true
+		}
+	}
+	return false
+}
+
+// tryTransmit fires after backoff: sense the medium and either transmit
+// or defer with a doubled window.
+func (c *Channel) tryTransmit(st *station) {
+	st.accessing = false
+	if st.detached || !st.listening || len(st.queue) == 0 || st.transmitting != nil {
+		return
+	}
+	pos := st.ep.Position()
+	if c.busyAround(pos) || len(st.receiving) > 0 {
+		// Medium busy: defer, exponentially widening the window.
+		c.counters.DeferredAccess++
+		st.cwSlots = min(st.cwSlots*2, c.cfg.MaxBackoffSlots)
+		c.maybeAccess(st)
+		return
+	}
+	q := st.queue[0]
+	st.queue = st.queue[1:]
+	st.cwSlots = c.cfg.MinBackoffSlots
+	c.startTransmission(st, q, pos)
+}
+
+func (c *Channel) startTransmission(st *station, q *queued, pos geom.Point) {
+	air := c.cfg.AirTime(q.frame.Bytes)
+	tx := &transmission{
+		frame:   q.frame,
+		sender:  st,
+		from:    pos,
+		ends:    c.engine.Now() + air + c.cfg.PropDelay,
+		attempt: q.attempt,
+	}
+	st.transmitting = tx
+	c.active[tx] = struct{}{}
+	c.counters.FramesSent++
+	c.counters.BytesOnAir += uint64(q.frame.Bytes)
+	kc := c.perKind[q.frame.Kind]
+	kc.Frames++
+	kc.Bytes += uint64(q.frame.Bytes)
+	c.perKind[q.frame.Kind] = kc
+	if c.Sniffer != nil {
+		c.Sniffer(q.frame, c.engine.Now())
+	}
+	c.updateMode(st)
+
+	// Establish receptions at every listening host in range, in ID
+	// order so runs are reproducible.
+	r2 := c.cfg.Range * c.cfg.Range
+	for _, oid := range c.order {
+		other := c.stations[oid]
+		if other == st || !other.listening || other.detached {
+			continue
+		}
+		if pos.Dist2(other.ep.Position()) > r2 {
+			continue
+		}
+		rx := &reception{tx: tx, st: other}
+		if c.cfg.CollisionsEnabled {
+			if other.transmitting != nil {
+				// Half-duplex: a transmitting host cannot receive.
+				rx.corrupted = true
+			}
+			if len(other.receiving) > 0 {
+				// Overlap: every concurrent reception is corrupted.
+				rx.corrupted = true
+				for _, o := range other.receiving {
+					if !o.corrupted {
+						o.corrupted = true
+						c.counters.Collisions++
+					}
+				}
+				c.counters.Collisions++
+			}
+		}
+		tx.rx = append(tx.rx, rx)
+		other.receiving[tx] = rx
+		c.updateMode(other)
+	}
+
+	c.engine.Schedule(air+c.cfg.PropDelay, func() { c.endTransmission(tx) })
+}
+
+func (c *Channel) endTransmission(tx *transmission) {
+	st := tx.sender
+	delete(c.active, tx)
+	if st.transmitting == tx {
+		st.transmitting = nil
+	}
+	c.updateMode(st)
+
+	dstOK := false
+	for _, rx := range tx.rx {
+		// The reception may have been aborted by sleep/detach, in which
+		// case it is no longer in the receiving map.
+		if cur, ok := rx.st.receiving[tx]; ok && cur == rx {
+			delete(rx.st.receiving, tx)
+			c.updateMode(rx.st)
+			if rx.corrupted || rx.st.detached || !rx.st.listening {
+				continue
+			}
+			if tx.frame.Dst == hostid.Broadcast || tx.frame.Dst == rx.st.ep.ID() {
+				if tx.frame.Dst == rx.st.ep.ID() {
+					dstOK = true
+				}
+				c.counters.Deliveries++
+				rx.st.ep.Deliver(tx.frame)
+			}
+		}
+	}
+
+	// Emulated ACK/timeout loop: retry failed unicast frames.
+	if tx.frame.Dst.IsUnicast() && !dstOK && !st.detached && st.listening {
+		if tx.attempt < c.cfg.MACRetries {
+			c.counters.Retries++
+			st.cwSlots = min(st.cwSlots*2, c.cfg.MaxBackoffSlots)
+			// Retries go to the queue front to preserve ordering.
+			st.queue = append([]*queued{{frame: tx.frame, attempt: tx.attempt + 1}}, st.queue...)
+		} else {
+			c.counters.UnicastFailed++
+			// Link-layer feedback: tell the sender its frame died, as
+			// a real 802.11 interface reports exhausted ACK retries.
+			if fb, ok := st.ep.(TxFeedback); ok {
+				fb.TxFailed(tx.frame)
+			}
+		}
+	}
+	c.maybeAccess(st)
+}
+
+// TxFeedback is implemented by endpoints that want link-layer failure
+// notifications for their unicast frames (the 802.11 "max retries
+// exceeded" indication routing protocols use for route repair).
+type TxFeedback interface {
+	TxFailed(f *Frame)
+}
+
+// InRange reports whether two attached hosts are currently within
+// transmission range of each other. Protocol code uses it only through
+// higher-level abstractions; tests use it directly.
+func (c *Channel) InRange(a, b hostid.ID) bool {
+	sa, oka := c.stations[a]
+	sb, okb := c.stations[b]
+	if !oka || !okb {
+		return false
+	}
+	return sa.ep.Position().Dist2(sb.ep.Position()) <= c.cfg.Range*c.cfg.Range
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,56 @@
+// Package radio simulates the shared wireless medium of the paper's
+// testbed: a 2 Mbps 802.11-DS-style channel with a 250 m transmission
+// disc, CSMA medium access with randomized backoff, collision corruption
+// at receivers inside two overlapping transmissions, and MAC-level
+// retransmission for unicast frames.
+//
+// The channel also owns the radio-related energy accounting: it switches
+// each attached host's battery among transmit/receive/idle as frames flow,
+// so energy consumption is exactly the time integral the paper's model
+// prescribes.
+package radio
+
+import (
+	"fmt"
+
+	"ecgrid/internal/hostid"
+)
+
+// Frame is one over-the-air transmission unit. Protocols put their
+// messages in Payload; Bytes (payload plus MAC/PHY framing) determines
+// airtime.
+type Frame struct {
+	Kind    string    // message kind for tracing and per-type counters
+	Src     hostid.ID // transmitting host
+	Dst     hostid.ID // destination host or hostid.Broadcast
+	Bytes   int       // total size on air, in bytes
+	Payload any       // protocol message, delivered untouched
+}
+
+// String summarizes the frame for traces.
+func (f *Frame) String() string {
+	return fmt.Sprintf("%s %v->%v (%dB)", f.Kind, f.Src, f.Dst, f.Bytes)
+}
+
+// MACHeaderBytes approximates the 802.11 MAC+PHY framing overhead added
+// to every payload. Protocols add this when sizing frames.
+const MACHeaderBytes = 34
+
+// KindCount is the per-frame-kind share of the air.
+type KindCount struct {
+	Frames uint64
+	Bytes  uint64
+}
+
+// Counters aggregates channel-wide MAC statistics, used by the overhead
+// metrics and the ablation benchmarks.
+type Counters struct {
+	FramesSent     uint64 // transmissions started (including retries)
+	FramesQueued   uint64 // Send calls accepted
+	Deliveries     uint64 // successful frame receptions delivered upward
+	Collisions     uint64 // receptions corrupted by overlap
+	Retries        uint64 // unicast MAC retransmissions
+	UnicastFailed  uint64 // unicast frames dropped after all retries
+	BytesOnAir     uint64 // total bytes transmitted
+	DeferredAccess uint64 // times carrier sense found the medium busy
+}

@@ -1,0 +1,207 @@
+// Package routing holds the wire formats and table machinery shared by
+// the grid-based protocols (GRID and ECGRID) and the host-based AODV used
+// under GAF.
+//
+// Messages travel as radio.Frame payloads. The simulator passes payload
+// structs by reference instead of serializing them; the Bytes fields of
+// frames still reflect realistic on-air sizes so airtime and energy are
+// right. Receivers must treat payloads as immutable.
+package routing
+
+import (
+	"fmt"
+
+	"ecgrid/internal/grid"
+	"ecgrid/internal/hostid"
+)
+
+// On-air payload sizes in bytes (MAC framing is added by the senders via
+// radio.MACHeaderBytes). Sizes follow the fields the paper lists for each
+// message, at IPv4-address scale.
+const (
+	HelloBytes    = 20 // id, grid, gflag, level, dist
+	RREQBytes     = 44 // S, s_seq, D, d_seq, id, range, orig/prev grids
+	RREPBytes     = 32 // S, D, d_seq, dest grid, hops, prev grid
+	RERRBytes     = 16 // unreachable dst, seq
+	RetireBase    = 12 // grid + counts; plus per-entry cost below
+	RetireEntry   = 12 // one routing- or host-table entry
+	ACQBytes      = 16 // gid, D
+	LeaveBytes    = 12 // id, grid
+	AwakeBytes    = 8  // id (sleep-wake handshake)
+	DataHeader    = 28 // flow, seq, src, dst, target grid
+	DiscoveryByte = 20 // GAF: id, grid, rank, enat
+)
+
+// Hello is the paper's HELLO message (§3.1): every active host broadcasts
+// it periodically; the gateway sets GFlag.
+type Hello struct {
+	ID    hostid.ID
+	Grid  grid.Coord
+	GFlag bool
+	Level int     // energy.Level as int, to avoid an import cycle here
+	Dist  float64 // distance to the geographic center of Grid
+}
+
+func (h *Hello) String() string {
+	return fmt.Sprintf("HELLO{%v %v gflag=%t level=%d dist=%.1f}", h.ID, h.Grid, h.GFlag, h.Level, h.Dist)
+}
+
+// RREQ is the route request flooded grid-by-grid within the search area.
+type RREQ struct {
+	Src      hostid.ID
+	SrcSeq   uint32
+	Dst      hostid.ID
+	DstSeq   uint32 // last known destination sequence (0 = unknown)
+	BcastID  uint32 // (Src, BcastID) detects duplicates
+	Area     grid.SearchArea
+	OrigGrid grid.Coord // grid of the requesting gateway
+	PrevGrid grid.Coord // grid of the gateway that forwarded this copy
+	Hops     int
+	// Page marks a retried search: gateways in the area transmit the
+	// destination's paging sequence so a sleeping destination whose
+	// registration was lost wakes up and re-announces itself.
+	Page bool
+}
+
+func (r *RREQ) String() string {
+	return fmt.Sprintf("RREQ{%v->%v id=%d area=%v hops=%d}", r.Src, r.Dst, r.BcastID, r.Area, r.Hops)
+}
+
+// RREP is the route reply unicast back along the reverse path.
+type RREP struct {
+	Src      hostid.ID // original requester
+	Dst      hostid.ID // destination the route reaches
+	DstSeq   uint32
+	DestGrid grid.Coord // grid where Dst currently lives
+	Hops     int        // hops from the replying gateway to Dst
+	PrevGrid grid.Coord // grid of the gateway that forwarded this copy
+	ToGrid   grid.Coord // grid this copy is addressed to (next on reverse path)
+}
+
+func (r *RREP) String() string {
+	return fmt.Sprintf("RREP{%v->%v destGrid=%v hops=%d}", r.Src, r.Dst, r.DestGrid, r.Hops)
+}
+
+// RERR reports a broken route back toward the source so upstream
+// gateways purge the entry and sources re-discover. It travels the
+// reverse path hop by hop until it reaches the gateway serving Src.
+type RERR struct {
+	Src    hostid.ID // source whose traffic hit the break
+	Dst    hostid.ID // unreachable destination
+	Seq    uint32
+	ToGrid grid.Coord
+}
+
+// Retire is the gateway's departure announcement (§3.2): it carries the
+// routing and host tables so the successor can take over, plus the grid
+// coordinate. When the gateway retires because it moved out, Leaving and
+// NewGrid let the successor keep forwarding the ex-gateway's traffic
+// (§3.4 applied to gateways). Tables are snapshots — the receiver owns
+// them.
+type Retire struct {
+	Grid    grid.Coord
+	Routes  []Entry
+	Hosts   []HostEntry
+	Leaving hostid.ID  // the departing gateway
+	NewGrid grid.Coord // its new grid (meaningful when HasNew)
+	HasNew  bool
+	// Successor, when not hostid.None, names the member the retiring
+	// gateway computed as the election winner from its last HELLO
+	// data. Since the election rules are a deterministic function of
+	// shared information, precomputing them removes the gatewayless
+	// window; receivers still fall back to a full election if the
+	// designate never takes over.
+	Successor hostid.ID
+}
+
+// SizeBytes returns the on-air size of the retire message, which grows
+// with the transferred tables.
+func (r *Retire) SizeBytes() int {
+	return RetireBase + RetireEntry*(len(r.Routes)+len(r.Hosts))
+}
+
+// Transfer hands the tables from a replaced gateway to its successor
+// after the successor declared itself (incoming-host replacement, §3.2
+// case 1). Same shape as Retire but unicast.
+type Transfer struct {
+	Grid   grid.Coord
+	Routes []Entry
+	Hosts  []HostEntry
+}
+
+// SizeBytes returns the on-air size, like Retire.SizeBytes.
+func (t *Transfer) SizeBytes() int {
+	return RetireBase + RetireEntry*(len(t.Routes)+len(t.Hosts))
+}
+
+// ACQ is the acquire message a sleeping host sends after waking to
+// transmit (§3.3): it tells the (possibly changed) gateway that the host
+// is awake and wants a route to Dst.
+type ACQ struct {
+	Grid grid.Coord
+	Src  hostid.ID
+	Dst  hostid.ID // hostid.None when waking only to receive pages
+}
+
+// Leave is the unicast departure notice of a non-gateway host (§3.2).
+// NewGrid implements §3.4's route maintenance: the old gateway installs a
+// one-hop forwarding stub toward the host's new grid, so in-flight
+// traffic follows the move instead of breaking.
+type Leave struct {
+	ID      hostid.ID
+	Grid    grid.Coord // grid being left
+	NewGrid grid.Coord // grid the host moved into
+}
+
+// Data wraps an application packet as it moves grid-by-grid (GRID/ECGRID)
+// or host-by-host (GAF/AODV).
+type Data struct {
+	Packet     *DataPacket
+	TargetGrid grid.Coord // grid the current copy is addressed to
+	DestGrid   grid.Coord // grid the destination was last known to live in
+	HasDest    bool       // whether DestGrid is meaningful
+}
+
+// DataPacket is one application-layer packet, created by the traffic
+// generator and consumed by the metrics collector at delivery.
+type DataPacket struct {
+	Flow   int
+	Seq    int
+	Src    hostid.ID
+	Dst    hostid.ID
+	Bytes  int     // payload size (the paper uses 512)
+	SentAt float64 // simulation time the source emitted it
+}
+
+func (p *DataPacket) String() string {
+	return fmt.Sprintf("pkt{flow=%d seq=%d %v->%v}", p.Flow, p.Seq, p.Src, p.Dst)
+}
+
+// Discovery is GAF's discovery message: active and discovery-state hosts
+// broadcast it so grid peers can rank each other.
+type Discovery struct {
+	ID    hostid.ID
+	Grid  grid.Coord
+	State int     // gaf state enum, kept as int to avoid import cycles
+	Enat  float64 // expected node active time (rank key)
+}
+
+// AODVRREQ is the host-by-host route request used under GAF.
+type AODVRREQ struct {
+	Src     hostid.ID
+	SrcSeq  uint32
+	Dst     hostid.ID
+	DstSeq  uint32
+	BcastID uint32
+	PrevHop hostid.ID
+	Hops    int
+}
+
+// AODVRREP is the host-by-host route reply used under GAF.
+type AODVRREP struct {
+	Src    hostid.ID
+	Dst    hostid.ID
+	DstSeq uint32
+	Hops   int
+	To     hostid.ID // next hop on the reverse path
+}

@@ -1,0 +1,325 @@
+// Package runner assembles and executes whole simulations: it builds the
+// substrates (engine, channel, RAS bus, mobility, batteries), attaches
+// the protocol under test to every host, wires the CBR traffic and the
+// metrics collector, runs the event loop, and returns the measured
+// results.
+package runner
+
+import (
+	"fmt"
+
+	"ecgrid/internal/core"
+	"ecgrid/internal/energy"
+	"ecgrid/internal/geom"
+	"ecgrid/internal/grid"
+	"ecgrid/internal/hostid"
+	"ecgrid/internal/metrics"
+	"ecgrid/internal/mobility"
+	"ecgrid/internal/node"
+	"ecgrid/internal/protocols/gaf"
+	"ecgrid/internal/protocols/span"
+	"ecgrid/internal/radio"
+	"ecgrid/internal/ras"
+	"ecgrid/internal/routing"
+	"ecgrid/internal/scenario"
+	"ecgrid/internal/sim"
+	"ecgrid/internal/traffic"
+)
+
+// Results is everything one run measures.
+type Results struct {
+	Cfg scenario.Config
+
+	// Alive is the fraction of energy-limited hosts still alive, over
+	// time; Aen the per-host consumed energy as a fraction of the
+	// initial charge (the paper's Eq. 2, normalized).
+	Alive, Aen []struct{ T, V float64 }
+
+	Sent, Delivered, Duplicates int
+	DeliveryRate                float64
+	MeanLatency, MaxLatency     float64
+
+	Deaths       int
+	FirstDeathAt float64 // -1 if none
+	LastAlive    float64 // final alive fraction
+
+	Radio radio.Counters
+	// PerKind splits the air usage by frame kind.
+	PerKind map[string]radio.KindCount
+	// Protocol aggregates per-host protocol counters by name.
+	Protocol map[string]uint64
+
+	Collector *metrics.Collector
+}
+
+// sender pairs a host with its protocol's data entry point.
+type sender interface {
+	traffic.Sender
+}
+
+// Run executes the scenario and returns its results. It panics on an
+// invalid configuration (catch with Validate first if the config is
+// user-supplied).
+func Run(cfg scenario.Config) *Results {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	engine := sim.NewEngine()
+	rng := sim.NewRNG(cfg.Seed)
+	area := geom.NewRect(geom.Point{}, geom.Point{X: cfg.AreaSize, Y: cfg.AreaSize})
+	part := grid.NewPartition(area, cfg.GridSize)
+	channel := radio.NewChannel(engine, rng, cfg.Radio)
+	bus := ras.NewBus(engine, part, cfg.Radio.Range, ras.DefaultLatency)
+	col := metrics.New()
+	if cfg.Trace != nil {
+		cfg.Trace.AttachRadio(channel)
+	}
+
+	emodel := energy.PaperModel()
+
+	type hostRec struct {
+		host     *node.Host
+		snd      sender
+		limited  bool // counts toward alive fraction and aen
+		statsFn  func() map[string]uint64
+		bat      *energy.Battery
+		endpoint bool
+	}
+
+	total := cfg.Hosts
+	if cfg.Protocol == scenario.GAF {
+		total += cfg.EndpointHosts
+	}
+	recs := make([]hostRec, 0, total)
+
+	place := func(i int) geom.Point {
+		return geom.Point{
+			X: rng.Uniform("place", 0, cfg.AreaSize),
+			Y: rng.Uniform("place", 0, cfg.AreaSize),
+		}
+	}
+
+	for i := 0; i < total; i++ {
+		endpoint := cfg.Protocol == scenario.GAF && i >= cfg.Hosts
+		start := place(i)
+		var mob mobility.Model
+		switch cfg.Mobility {
+		case "direction":
+			// Epoch sized so direction changes come at waypoint-like
+			// intervals for the area.
+			epoch := cfg.AreaSize / (2 * cfg.MaxSpeedMS)
+			mob = mobility.NewRandomDirection(area, start, cfg.MaxSpeedMS, epoch,
+				cfg.PauseTime, rng.Stream(fmt.Sprintf("mob.%d", i)))
+		default:
+			mob = mobility.NewRandomWaypoint(area, start, cfg.MaxSpeedMS, cfg.PauseTime,
+				rng.Stream(fmt.Sprintf("mob.%d", i)))
+		}
+		var bat *energy.Battery
+		if endpoint {
+			bat = energy.NewInfiniteBattery(emodel)
+		} else {
+			bat = energy.NewBattery(emodel, cfg.InitialEnergyJ)
+		}
+		h := node.New(node.Config{
+			ID: hostid.ID(i), Engine: engine, RNG: rng, Channel: channel,
+			Bus: bus, Partition: part, Mobility: mob, Battery: bat,
+		})
+		h.Died = func(id hostid.ID, at float64) { col.HostDied(at) }
+
+		rec := hostRec{host: h, limited: !endpoint, bat: bat, endpoint: endpoint}
+		switch cfg.Protocol {
+		case scenario.ECGRID, scenario.GRID:
+			opt := core.DefaultOptions()
+			if cfg.Protocol == scenario.GRID {
+				opt = core.GridOptions()
+			}
+			if cfg.ECGRIDOptions != nil {
+				opt = *cfg.ECGRIDOptions
+			}
+			p := core.New(h, opt)
+			p.OnDeliver = func(pkt *routing.DataPacket) { col.PacketDelivered(pkt, engine.Now()) }
+			h.SetProtocol(p)
+			rec.snd = p
+			rec.statsFn = func() map[string]uint64 { return coreStats(&p.Stats) }
+		case scenario.SPAN:
+			p := span.New(h, span.DefaultOptions())
+			p.OnDeliver = func(pkt *routing.DataPacket) { col.PacketDelivered(pkt, engine.Now()) }
+			h.SetProtocol(p)
+			rec.snd = p
+			rec.statsFn = func() map[string]uint64 { return spanStats(&p.Stats) }
+		case scenario.GAF, scenario.AODV:
+			opt := gaf.DefaultOptions()
+			if cfg.GAFOptions != nil {
+				opt = *cfg.GAFOptions
+			}
+			var p *gaf.Protocol
+			if cfg.Protocol == scenario.AODV {
+				p = gaf.NewAODV(h, opt)
+			} else {
+				p = gaf.New(h, opt, endpoint)
+			}
+			p.OnDeliver = func(pkt *routing.DataPacket) { col.PacketDelivered(pkt, engine.Now()) }
+			h.SetProtocol(p)
+			rec.snd = p
+			rec.statsFn = func() map[string]uint64 { return gafStats(&p.Stats) }
+		}
+		recs = append(recs, rec)
+	}
+	for i := range recs {
+		recs[i].host.Start()
+	}
+
+	// Traffic: flow endpoints. Under GAF Model 1 the flows run between
+	// the infinite-energy endpoint hosts; under Model 2 (ECGRID/GRID)
+	// sources and destinations are random energy-limited hosts.
+	flows := make([]*traffic.CBR, 0, cfg.Flows)
+	for f := 0; f < cfg.Flows; f++ {
+		var srcIdx, dstIdx int
+		if cfg.Protocol == scenario.GAF {
+			srcIdx = cfg.Hosts + f%cfg.EndpointHosts
+			dstIdx = cfg.Hosts + (f+cfg.EndpointHosts/2)%cfg.EndpointHosts
+			if dstIdx == srcIdx {
+				dstIdx = cfg.Hosts + (srcIdx-cfg.Hosts+1)%cfg.EndpointHosts
+			}
+		} else {
+			srcIdx = rng.Intn("flows", total)
+			dstIdx = rng.Intn("flows", total)
+			for dstIdx == srcIdx {
+				dstIdx = rng.Intn("flows", total)
+			}
+		}
+		src := recs[srcIdx]
+		flow := &traffic.CBR{
+			Flow: f, Src: src.host.ID(), Dst: recs[dstIdx].host.ID(),
+			Rate: cfg.RatePerFlow, Bytes: cfg.PacketBytes,
+		}
+		flow.OnSend = func(pkt *routing.DataPacket) { col.PacketSent(pkt) }
+		srcHost := src.host
+		flow.Gate = func() bool { return !srcHost.Dead() }
+		snd := src.snd
+		phase := cfg.TrafficStart + rng.Uniform("flowphase", 0, 1/cfg.RatePerFlow)
+		flow.Start(engine, snd, phase)
+		flows = append(flows, flow)
+	}
+
+	// Metrics sampling.
+	limited := 0
+	for _, r := range recs {
+		if r.limited {
+			limited++
+		}
+	}
+	sample := func() {
+		now := engine.Now()
+		alive := 0
+		consumed := 0.0
+		for _, r := range recs {
+			if !r.limited {
+				continue
+			}
+			if !r.host.Dead() {
+				alive++
+			}
+			consumed += r.bat.Consumed(now)
+		}
+		col.SampleAlive(now, float64(alive)/float64(limited))
+		col.SampleAen(now, consumed/(float64(limited)*cfg.InitialEnergyJ))
+	}
+	sample()
+	sampler := sim.NewTicker(engine, cfg.SampleEvery, 0, sample)
+
+	engine.Run(cfg.Duration)
+	sampler.Stop()
+	for _, f := range flows {
+		f.Stop()
+	}
+	sample()
+
+	// Collect results.
+	res := &Results{
+		Cfg:          cfg,
+		Sent:         col.Sent(),
+		Delivered:    col.Delivered(),
+		Duplicates:   col.Duplicates(),
+		DeliveryRate: col.DeliveryRate(),
+		MeanLatency:  col.MeanLatencySeconds(),
+		MaxLatency:   col.MaxLatencySeconds(),
+		Deaths:       col.Deaths(),
+		FirstDeathAt: col.FirstDeathAt(),
+		LastAlive:    col.Alive.Last(),
+		Radio:        channel.Counters(),
+		PerKind:      channel.PerKind(),
+		Protocol:     make(map[string]uint64),
+		Collector:    col,
+	}
+	for _, p := range col.Alive.Points {
+		res.Alive = append(res.Alive, struct{ T, V float64 }{p.T, p.V})
+	}
+	for _, p := range col.Aen.Points {
+		res.Aen = append(res.Aen, struct{ T, V float64 }{p.T, p.V})
+	}
+	for _, r := range recs {
+		if r.statsFn == nil {
+			continue
+		}
+		for k, v := range r.statsFn() {
+			res.Protocol[k] += v
+		}
+	}
+	return res
+}
+
+func coreStats(s *core.Stats) map[string]uint64 {
+	return map[string]uint64{
+		"hellos":      s.HellosSent,
+		"rreqs":       s.RREQsSent,
+		"rreps":       s.RREPsSent,
+		"rerrs":       s.RERRsSent,
+		"retires":     s.RetiresSent,
+		"transfers":   s.TransfersSent,
+		"acqs":        s.ACQsSent,
+		"leaves":      s.LeavesSent,
+		"fwd":         s.DataForwarded,
+		"delivered":   s.DataDelivered,
+		"dropped":     s.DataDropped,
+		"d_misdirect": s.DropMisdirect,
+		"d_noroute":   s.DropNoRoute,
+		"d_discovery": s.DropDiscovery,
+		"d_unreach":   s.DropUnreach,
+		"d_expired":   s.DropExpired,
+		"pages":       s.PagesSent,
+		"gridpages":   s.GridPagesSent,
+		"elections":   s.ElectionsRun,
+		"gateways":    s.BecameGateway,
+		"nogateway":   s.NoGatewayEvnts,
+		"sleeps":      s.SleepsEntered,
+	}
+}
+
+func spanStats(s *span.Stats) map[string]uint64 {
+	return map[string]uint64{
+		"hellos":      s.HellosSent,
+		"coords":      s.CoordAnnounces,
+		"withdrawals": s.Withdrawals,
+		"rreqs":       s.RREQsSent,
+		"rreps":       s.RREPsSent,
+		"fwd":         s.DataForwarded,
+		"delivered":   s.DataDelivered,
+		"dropped":     s.DataDropped,
+		"sleeps":      s.SleepsEntered,
+	}
+}
+
+func gafStats(s *gaf.Stats) map[string]uint64 {
+	return map[string]uint64{
+		"discoveries": s.DiscoveriesSent,
+		"rreqs":       s.RREQsSent,
+		"rreps":       s.RREPsSent,
+		"rerrs":       s.RERRsSent,
+		"fwd":         s.DataForwarded,
+		"delivered":   s.DataDelivered,
+		"dropped":     s.DataDropped,
+		"sleeps":      s.SleepsEntered,
+		"actives":     s.ActivePeriods,
+	}
+}

@@ -1,0 +1,42 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Scenario files: a Config serializes to JSON so experiment setups can be
+// versioned and shared (ns-2 users keep .tcl scenario files; this is the
+// equivalent). The Trace recorder is runtime-only and not serialized.
+
+// Save writes the configuration to path as indented JSON.
+func (c Config) Save(path string) error {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return fmt.Errorf("scenario: marshal: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	return nil
+}
+
+// Load reads a configuration from path. Fields absent from the file keep
+// the zero value, so files usually start from a Default and override; the
+// result is validated before being returned.
+func Load(path string) (Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("scenario: %w", err)
+	}
+	var c Config
+	if err := json.Unmarshal(data, &c); err != nil {
+		return Config{}, fmt.Errorf("scenario: parse %s: %w", path, err)
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, fmt.Errorf("scenario: %s: %w", path, err)
+	}
+	return c, nil
+}

@@ -1,0 +1,171 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and a priority queue of events.
+// Events scheduled for the same instant fire in scheduling order (FIFO),
+// which makes runs exactly reproducible: given the same seed and the same
+// sequence of Schedule calls, every run produces the identical trace.
+//
+// Time is a float64 number of seconds since the start of the simulation.
+// All protocol and radio code in this repository runs inside engine events;
+// nothing uses wall-clock time.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a simulation timestamp in seconds.
+type Time = float64
+
+// Event is a scheduled callback. The callback runs with the engine clock
+// set to the event's timestamp.
+type Event struct {
+	when Time
+	seq  uint64 // tie-breaker: FIFO among equal timestamps
+	fn   func()
+
+	index    int  // heap index, -1 when not queued
+	canceled bool // canceled events stay queued but do not fire
+}
+
+// When returns the simulation time at which the event fires (or fired).
+func (e *Event) When() Time { return e.when }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// eventQueue implements heap.Interface ordered by (when, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator.
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	nextSeq uint64
+	running bool
+	stopped bool
+
+	// processed counts events that actually fired (excludes canceled).
+	processed uint64
+}
+
+// NewEngine returns an engine with the clock at zero and an empty queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events that have fired so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of queued events, including canceled ones
+// that have not yet been discarded.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule queues fn to run after delay seconds. A negative delay is an
+// error in the caller; Schedule panics to surface the bug immediately.
+func (e *Engine) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Sprintf("sim: Schedule with invalid delay %v at t=%v", delay, e.now))
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At queues fn to run at absolute time when. Scheduling in the past panics.
+func (e *Engine) At(when Time, fn func()) *Event {
+	if when < e.now || math.IsNaN(when) {
+		panic(fmt.Sprintf("sim: At with time %v in the past of %v", when, e.now))
+	}
+	if fn == nil {
+		panic("sim: At with nil callback")
+	}
+	ev := &Event{when: when, seq: e.nextSeq, fn: fn, index: -1}
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Cancel marks an event so it will not fire. Canceling an event that has
+// already fired, or canceling twice, is a harmless no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil {
+		return
+	}
+	ev.canceled = true
+}
+
+// Stop requests that Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run processes events in timestamp order until the queue is empty, the
+// clock would pass until, or Stop is called. Events with timestamp exactly
+// equal to until still fire. It returns the final clock value, which is
+// until when the run ended because simulated time was exhausted.
+func (e *Engine) Run(until Time) Time {
+	if e.running {
+		panic("sim: Run called re-entrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	e.stopped = false
+
+	for len(e.queue) > 0 && !e.stopped {
+		ev := e.queue[0]
+		if ev.when > until {
+			break
+		}
+		heap.Pop(&e.queue)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.when
+		e.processed++
+		ev.fn()
+	}
+	if !e.stopped && e.now < until && !math.IsInf(until, 1) {
+		e.now = until
+	}
+	return e.now
+}
+
+// RunAll processes every queued event regardless of timestamp. It is meant
+// for tests; simulations should use Run with an explicit horizon.
+func (e *Engine) RunAll() Time {
+	return e.Run(math.Inf(1))
+}

@@ -1,0 +1,251 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestEngineFiresInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []float64
+	for _, d := range []float64{5, 1, 3, 2, 4} {
+		d := d
+		e.Schedule(d, func() { got = append(got, d) })
+	}
+	e.RunAll()
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Fatalf("fired %d events, want 5", len(got))
+	}
+}
+
+func TestEngineFIFOAmongEqualTimes(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(1.0, func() { got = append(got, i) })
+	}
+	e.RunAll()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("equal-time events fired out of scheduling order: %v", got)
+		}
+	}
+}
+
+func TestEngineClockAdvancesDuringEvents(t *testing.T) {
+	e := NewEngine()
+	var at float64 = -1
+	e.Schedule(2.5, func() { at = e.Now() })
+	e.RunAll()
+	if at != 2.5 {
+		t.Fatalf("Now() inside event = %v, want 2.5", at)
+	}
+}
+
+func TestEngineRunHorizon(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(1, func() { fired++ })
+	e.Schedule(10, func() { fired++ })
+	end := e.Run(5)
+	if fired != 1 {
+		t.Fatalf("fired %d events before horizon, want 1", fired)
+	}
+	if end != 5 {
+		t.Fatalf("Run returned %v, want 5", end)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", e.Pending())
+	}
+	// Resuming past the horizon fires the rest.
+	e.Run(20)
+	if fired != 2 {
+		t.Fatalf("fired %d events total, want 2", fired)
+	}
+}
+
+func TestEngineEventAtHorizonFires(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(5, func() { fired = true })
+	e.Run(5)
+	if !fired {
+		t.Fatal("event scheduled exactly at horizon did not fire")
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(1, func() { fired = true })
+	e.Cancel(ev)
+	e.Cancel(ev) // double cancel is a no-op
+	e.Cancel(nil)
+	e.RunAll()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+}
+
+func TestEngineCancelFromWithinEvent(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	var ev *Event
+	e.Schedule(1, func() { e.Cancel(ev) })
+	ev = e.Schedule(2, func() { fired = true })
+	e.RunAll()
+	if fired {
+		t.Fatal("event canceled by an earlier event still fired")
+	}
+}
+
+func TestEngineScheduleFromWithinEvent(t *testing.T) {
+	e := NewEngine()
+	var times []float64
+	e.Schedule(1, func() {
+		e.Schedule(1, func() { times = append(times, e.Now()) })
+	})
+	e.RunAll()
+	if len(times) != 1 || times[0] != 2 {
+		t.Fatalf("nested event fired at %v, want [2]", times)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(1, func() { fired++; e.Stop() })
+	e.Schedule(2, func() { fired++ })
+	e.Run(10)
+	if fired != 1 {
+		t.Fatalf("fired %d events after Stop, want 1", fired)
+	}
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Schedule(-1) did not panic")
+		}
+	}()
+	NewEngine().Schedule(-1, func() {})
+}
+
+func TestEngineAtInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("At(past) did not panic")
+			}
+		}()
+		e.At(1, func() {})
+	})
+	e.RunAll()
+}
+
+func TestEngineNaNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Schedule(NaN) did not panic")
+		}
+	}()
+	NewEngine().Schedule(math.NaN(), func() {})
+}
+
+func TestEngineNilCallbackPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(nil fn) did not panic")
+		}
+	}()
+	NewEngine().At(1, nil)
+}
+
+func TestEngineProcessedCount(t *testing.T) {
+	e := NewEngine()
+	ev := e.Schedule(1, func() {})
+	e.Schedule(2, func() {})
+	e.Cancel(ev)
+	e.RunAll()
+	if e.Processed() != 1 {
+		t.Fatalf("Processed() = %d, want 1 (canceled events excluded)", e.Processed())
+	}
+}
+
+// Property: for any batch of delays, pop order is non-decreasing in time.
+func TestEnginePopOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var fired []float64
+		for _, d := range delays {
+			when := float64(d) / 16
+			e.Schedule(when, func() { fired = append(fired, e.Now()) })
+		}
+		e.RunAll()
+		return sort.Float64sAreSorted(fired) && len(fired) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaved schedule/cancel keeps ordering and fires exactly
+// the non-canceled events.
+func TestEngineCancelProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		fired := make(map[int]bool)
+		events := make([]*Event, 0, n)
+		for i := 0; i < int(n); i++ {
+			i := i
+			events = append(events, e.Schedule(r.Float64()*100, func() { fired[i] = true }))
+		}
+		canceled := make(map[int]bool)
+		for i, ev := range events {
+			if r.Intn(3) == 0 {
+				e.Cancel(ev)
+				canceled[i] = true
+			}
+		}
+		e.RunAll()
+		for i := range events {
+			if canceled[i] == fired[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAllReturnsLastEventTime(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(3.25, func() {})
+	if end := e.RunAll(); end != 3.25 {
+		t.Fatalf("RunAll() = %v, want 3.25", end)
+	}
+}

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"hash/fnv"
+	"math/rand"
+)
+
+// RNG is a collection of named, independently-seeded random number streams.
+//
+// Simulations draw randomness for distinct concerns (mobility, traffic,
+// backoff, placement, ...) from distinct streams so that adding draws to
+// one concern does not perturb any other. Each stream is seeded from the
+// root seed and the stream name, so a (seed, name) pair always yields the
+// same sequence.
+type RNG struct {
+	seed    int64
+	streams map[string]*rand.Rand
+}
+
+// NewRNG returns a stream collection rooted at seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{seed: seed, streams: make(map[string]*rand.Rand)}
+}
+
+// Seed returns the root seed.
+func (r *RNG) Seed() int64 { return r.seed }
+
+// Stream returns the named stream, creating it on first use.
+func (r *RNG) Stream(name string) *rand.Rand {
+	if s, ok := r.streams[name]; ok {
+		return s
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	s := rand.New(rand.NewSource(r.seed ^ int64(h.Sum64())))
+	r.streams[name] = s
+	return s
+}
+
+// Uniform draws from [lo, hi) on the named stream. It panics if hi < lo.
+func (r *RNG) Uniform(name string, lo, hi float64) float64 {
+	if hi < lo {
+		panic("sim: Uniform with hi < lo")
+	}
+	if hi == lo {
+		return lo
+	}
+	return lo + r.Stream(name).Float64()*(hi-lo)
+}
+
+// Intn draws a uniform integer in [0, n) on the named stream.
+func (r *RNG) Intn(name string, n int) int {
+	return r.Stream(name).Intn(n)
+}
+
+// Exp draws an exponentially-distributed value with the given mean.
+func (r *RNG) Exp(name string, mean float64) float64 {
+	return r.Stream(name).ExpFloat64() * mean
+}
+
+// Perm returns a random permutation of [0, n) on the named stream.
+func (r *RNG) Perm(name string, n int) []int {
+	return r.Stream(name).Perm(n)
+}

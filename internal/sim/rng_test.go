@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministicPerSeedAndName(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Stream("mobility").Float64() != b.Stream("mobility").Float64() {
+			t.Fatal("same (seed, name) produced different sequences")
+		}
+	}
+}
+
+func TestRNGStreamsIndependent(t *testing.T) {
+	// Drawing extra values from one stream must not perturb another.
+	a := NewRNG(7)
+	b := NewRNG(7)
+	for i := 0; i < 50; i++ {
+		a.Stream("traffic").Float64() // extra draws on a different stream
+	}
+	for i := 0; i < 20; i++ {
+		if a.Stream("mobility").Float64() != b.Stream("mobility").Float64() {
+			t.Fatal("draws on one stream perturbed another stream")
+		}
+	}
+}
+
+func TestRNGDifferentSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := true
+	for i := 0; i < 10; i++ {
+		if a.Stream("x").Float64() != b.Stream("x").Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+func TestRNGDifferentNamesDiffer(t *testing.T) {
+	r := NewRNG(1)
+	same := true
+	x, y := r.Stream("x"), r.Stream("y")
+	for i := 0; i < 10; i++ {
+		if x.Float64() != y.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different stream names produced identical sequences")
+	}
+}
+
+func TestRNGUniformRange(t *testing.T) {
+	r := NewRNG(3)
+	f := func(a, b int32) bool {
+		lo, hi := float64(a), float64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		v := r.Uniform("u", lo, hi)
+		return v >= lo && (v < hi || lo == hi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGUniformDegenerate(t *testing.T) {
+	r := NewRNG(3)
+	if v := r.Uniform("u", 5, 5); v != 5 {
+		t.Fatalf("Uniform(5,5) = %v, want 5", v)
+	}
+}
+
+func TestRNGUniformInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uniform with hi<lo did not panic")
+		}
+	}()
+	NewRNG(1).Uniform("u", 2, 1)
+}
+
+func TestRNGExpPositiveMean(t *testing.T) {
+	r := NewRNG(9)
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := r.Exp("e", 2.0)
+		if v < 0 {
+			t.Fatalf("Exp returned negative value %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if mean < 1.8 || mean > 2.2 {
+		t.Fatalf("Exp empirical mean %v, want ≈2.0", mean)
+	}
+}
+
+func TestRNGIntnAndPerm(t *testing.T) {
+	r := NewRNG(4)
+	for i := 0; i < 100; i++ {
+		if v := r.Intn("i", 10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	p := r.Perm("p", 8)
+	seen := make(map[int]bool)
+	for _, v := range p {
+		if v < 0 || v >= 8 || seen[v] {
+			t.Fatalf("Perm invalid: %v", p)
+		}
+		seen[v] = true
+	}
+	if r.Seed() != 4 {
+		t.Fatalf("Seed() = %d, want 4", r.Seed())
+	}
+}

@@ -1,0 +1,92 @@
+package sim
+
+// Timer is a restartable one-shot timer bound to an engine. Protocol code
+// uses timers for HELLO periods, dwell wakeups, retransmissions, and the
+// like. Unlike raw events, a Timer can be rescheduled: Reset cancels any
+// outstanding firing and schedules a fresh one.
+type Timer struct {
+	engine *Engine
+	fn     func()
+	ev     *Event
+}
+
+// NewTimer returns a stopped timer that runs fn when it fires.
+func NewTimer(engine *Engine, fn func()) *Timer {
+	if engine == nil || fn == nil {
+		panic("sim: NewTimer with nil engine or callback")
+	}
+	return &Timer{engine: engine, fn: fn}
+}
+
+// Reset (re)schedules the timer to fire after delay seconds, canceling any
+// previously scheduled firing.
+func (t *Timer) Reset(delay Time) {
+	t.Stop()
+	ev := t.engine.Schedule(delay, func() {
+		t.ev = nil
+		t.fn()
+	})
+	t.ev = ev
+}
+
+// Stop cancels a pending firing. Stopping an inactive timer is a no-op.
+func (t *Timer) Stop() {
+	if t.ev != nil {
+		t.engine.Cancel(t.ev)
+		t.ev = nil
+	}
+}
+
+// Active reports whether a firing is pending.
+func (t *Timer) Active() bool { return t.ev != nil }
+
+// Deadline returns the absolute firing time. It is only meaningful when
+// Active reports true.
+func (t *Timer) Deadline() Time {
+	if t.ev == nil {
+		return 0
+	}
+	return t.ev.When()
+}
+
+// Ticker repeatedly invokes a callback at a fixed period until stopped.
+type Ticker struct {
+	engine  *Engine
+	period  Time
+	fn      func()
+	ev      *Event
+	stopped bool
+}
+
+// NewTicker starts a ticker whose first tick fires after one full period
+// plus the given phase offset. A phase of zero gives strictly periodic
+// ticks at t0+period, t0+2·period, .... Protocols use a small random phase
+// to de-synchronize periodic traffic across hosts.
+func NewTicker(engine *Engine, period, phase Time, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: NewTicker with non-positive period")
+	}
+	t := &Ticker{engine: engine, period: period, fn: fn}
+	t.ev = engine.Schedule(period+phase, t.tick)
+	return t
+}
+
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if t.stopped { // fn may stop the ticker
+		return
+	}
+	t.ev = t.engine.Schedule(t.period, t.tick)
+}
+
+// Stop permanently halts the ticker.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.ev != nil {
+		t.engine.Cancel(t.ev)
+		t.ev = nil
+	}
+}

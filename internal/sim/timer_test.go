@@ -1,0 +1,178 @@
+package sim
+
+import "testing"
+
+func TestTimerFires(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	tm := NewTimer(e, func() { fired++ })
+	tm.Reset(2)
+	if !tm.Active() {
+		t.Fatal("Active() = false after Reset")
+	}
+	if tm.Deadline() != 2 {
+		t.Fatalf("Deadline() = %v, want 2", tm.Deadline())
+	}
+	e.RunAll()
+	if fired != 1 {
+		t.Fatalf("fired %d times, want 1", fired)
+	}
+	if tm.Active() {
+		t.Fatal("Active() = true after firing")
+	}
+}
+
+func TestTimerResetReplacesPending(t *testing.T) {
+	e := NewEngine()
+	var at []float64
+	tm := NewTimer(e, func() { at = append(at, e.Now()) })
+	tm.Reset(2)
+	tm.Reset(5) // supersedes the t=2 firing
+	e.RunAll()
+	if len(at) != 1 || at[0] != 5 {
+		t.Fatalf("fired at %v, want [5]", at)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	tm := NewTimer(e, func() { fired = true })
+	tm.Reset(1)
+	tm.Stop()
+	tm.Stop() // idempotent
+	e.RunAll()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestTimerStopInactive(t *testing.T) {
+	e := NewEngine()
+	tm := NewTimer(e, func() {})
+	tm.Stop() // no-op on never-started timer
+	if tm.Active() {
+		t.Fatal("Active() = true on never-started timer")
+	}
+	if tm.Deadline() != 0 {
+		t.Fatalf("Deadline() = %v on inactive timer, want 0", tm.Deadline())
+	}
+}
+
+func TestTimerResetFromCallback(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tm *Timer
+	tm = NewTimer(e, func() {
+		count++
+		if count < 3 {
+			tm.Reset(1)
+		}
+	})
+	tm.Reset(1)
+	e.Run(100)
+	if count != 3 {
+		t.Fatalf("self-resetting timer fired %d times, want 3", count)
+	}
+}
+
+func TestNewTimerNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTimer(nil, nil) did not panic")
+		}
+	}()
+	NewTimer(nil, nil)
+}
+
+func TestTickerPeriodic(t *testing.T) {
+	e := NewEngine()
+	var at []float64
+	tk := NewTicker(e, 2, 0, func() { at = append(at, e.Now()) })
+	e.Run(7)
+	tk.Stop()
+	want := []float64{2, 4, 6}
+	if len(at) != len(want) {
+		t.Fatalf("ticks at %v, want %v", at, want)
+	}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Fatalf("ticks at %v, want %v", at, want)
+		}
+	}
+}
+
+func TestTickerPhase(t *testing.T) {
+	e := NewEngine()
+	var first float64 = -1
+	NewTicker(e, 2, 0.5, func() {
+		if first < 0 {
+			first = e.Now()
+		}
+	})
+	e.Run(3)
+	if first != 2.5 {
+		t.Fatalf("first tick at %v, want 2.5", first)
+	}
+}
+
+func TestTickerStopFromCallback(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tk *Ticker
+	tk = NewTicker(e, 1, 0, func() {
+		count++
+		if count == 2 {
+			tk.Stop()
+		}
+	})
+	e.Run(100)
+	if count != 2 {
+		t.Fatalf("ticker fired %d times after Stop from callback, want 2", count)
+	}
+}
+
+func TestTickerStopOutside(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	tk := NewTicker(e, 1, 0, func() { count++ })
+	e.Run(3.5)
+	tk.Stop()
+	e.Run(100)
+	if count != 3 {
+		t.Fatalf("ticker fired %d times, want 3", count)
+	}
+}
+
+func TestTickerNonPositivePeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTicker(period=0) did not panic")
+		}
+	}()
+	NewTicker(NewEngine(), 0, 0, func() {})
+}
+
+func TestTickerCountProperty(t *testing.T) {
+	// Over a horizon H, a ticker with period p and phase f fires
+	// floor((H-f)/p) times (first tick at p+f).
+	for _, c := range []struct{ period, phase, horizon float64 }{
+		{1, 0, 10},
+		{2, 0.5, 10},
+		{0.3, 0.1, 5},
+		{5, 0, 4},
+	} {
+		e := NewEngine()
+		n := 0
+		NewTicker(e, c.period, c.phase, func() { n++ })
+		e.Run(c.horizon)
+		want := int((c.horizon - c.phase) / c.period)
+		if want < 0 {
+			want = 0
+		}
+		if n != want {
+			t.Errorf("period=%v phase=%v horizon=%v: %d ticks, want %d",
+				c.period, c.phase, c.horizon, n, want)
+		}
+	}
+}

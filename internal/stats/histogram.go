@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram counts observations into fixed-width bins over [Min, Max);
+// observations outside the range land in under/overflow bins. Used by the
+// latency reporting in cmd/ecgridsim.
+type Histogram struct {
+	min, max  float64
+	bins      []int
+	width     float64
+	under     int
+	over      int
+	n         int
+	underflow bool
+}
+
+// NewHistogram creates a histogram with the given range and bin count.
+func NewHistogram(min, max float64, bins int) *Histogram {
+	if max <= min || bins <= 0 {
+		panic("stats: invalid histogram range or bin count")
+	}
+	return &Histogram{
+		min:   min,
+		max:   max,
+		bins:  make([]int, bins),
+		width: (max - min) / float64(bins),
+	}
+}
+
+// Add incorporates one observation.
+func (h *Histogram) Add(x float64) {
+	h.n++
+	switch {
+	case x < h.min:
+		h.under++
+	case x >= h.max:
+		h.over++
+	default:
+		i := int((x - h.min) / h.width)
+		if i >= len(h.bins) { // guard float rounding at the top edge
+			i = len(h.bins) - 1
+		}
+		h.bins[i]++
+	}
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() int { return h.n }
+
+// Bin returns the count of bin i and its [lo, hi) range.
+func (h *Histogram) Bin(i int) (count int, lo, hi float64) {
+	return h.bins[i], h.min + float64(i)*h.width, h.min + float64(i+1)*h.width
+}
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.bins) }
+
+// Outliers returns the underflow and overflow counts.
+func (h *Histogram) Outliers() (under, over int) { return h.under, h.over }
+
+// String renders an ASCII bar chart, one line per non-empty bin.
+func (h *Histogram) String() string {
+	maxCount := 1
+	for _, c := range h.bins {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.bins {
+		if c == 0 {
+			continue
+		}
+		_, lo, hi := h.Bin(i)
+		bar := strings.Repeat("#", 1+c*40/maxCount)
+		fmt.Fprintf(&b, "%10.4g..%-10.4g %6d %s\n", lo, hi, c, bar)
+	}
+	if h.under > 0 {
+		fmt.Fprintf(&b, "%21s %6d\n", "(underflow)", h.under)
+	}
+	if h.over > 0 {
+		fmt.Fprintf(&b, "%21s %6d\n", "(overflow)", h.over)
+	}
+	return b.String()
+}
+
+// MeanCI returns the sample mean of xs and the half-width of its normal
+// 95 % confidence interval (1.96·s/√n). With fewer than two observations
+// the half-width is 0.
+func MeanCI(xs []float64) (mean, halfWidth float64) {
+	var a Accumulator
+	for _, x := range xs {
+		a.Add(x)
+	}
+	if a.N() < 2 {
+		return a.Mean(), 0
+	}
+	return a.Mean(), 1.96 * a.StdDev() / math.Sqrt(float64(a.N()))
+}
+
+// MedianOfMeans splits xs into k groups (in order) and returns the median
+// of the group means — a robust location estimate for multi-seed results
+// with occasional outlier runs.
+func MedianOfMeans(xs []float64, k int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if k <= 1 || k >= len(xs) {
+		return Median(xs)
+	}
+	means := make([]float64, 0, k)
+	per := (len(xs) + k - 1) / k
+	for i := 0; i < len(xs); i += per {
+		end := i + per
+		if end > len(xs) {
+			end = len(xs)
+		}
+		means = append(means, Mean(xs[i:end]))
+	}
+	sort.Float64s(means)
+	return Median(means)
+}

@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 5) // bins of width 2
+	for _, x := range []float64{0, 1.9, 2, 5, 9.99} {
+		h.Add(x)
+	}
+	wantCounts := []int{2, 1, 1, 0, 1}
+	for i, want := range wantCounts {
+		if c, _, _ := h.Bin(i); c != want {
+			t.Errorf("bin %d = %d, want %d", i, c, want)
+		}
+	}
+	if h.N() != 5 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if h.Bins() != 5 {
+		t.Fatalf("Bins = %d", h.Bins())
+	}
+	_, lo, hi := h.Bin(1)
+	if lo != 2 || hi != 4 {
+		t.Fatalf("bin 1 range = [%v, %v)", lo, hi)
+	}
+}
+
+func TestHistogramOutliers(t *testing.T) {
+	h := NewHistogram(0, 10, 2)
+	h.Add(-1)
+	h.Add(10) // max is exclusive
+	h.Add(100)
+	under, over := h.Outliers()
+	if under != 1 || over != 2 {
+		t.Fatalf("outliers = %d, %d", under, over)
+	}
+	if h.N() != 3 {
+		t.Fatalf("N = %d", h.N())
+	}
+}
+
+func TestHistogramTopEdgeRounding(t *testing.T) {
+	// A value infinitesimally below max must land in the last bin, even
+	// if float division rounds up.
+	h := NewHistogram(0, 0.3, 3)
+	h.Add(math.Nextafter(0.3, 0))
+	if c, _, _ := h.Bin(2); c != 1 {
+		t.Fatalf("top-edge value not in last bin")
+	}
+}
+
+func TestHistogramAllInProperty(t *testing.T) {
+	f := func(vals []uint8) bool {
+		h := NewHistogram(0, 256, 16)
+		for _, v := range vals {
+			h.Add(float64(v))
+		}
+		total := 0
+		for i := 0; i < h.Bins(); i++ {
+			c, _, _ := h.Bin(i)
+			total += c
+		}
+		under, over := h.Outliers()
+		return total+under+over == len(vals)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(0, 10, 2)
+	h.Add(1)
+	h.Add(1)
+	h.Add(7)
+	h.Add(-5)
+	s := h.String()
+	if !strings.Contains(s, "#") || !strings.Contains(s, "underflow") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"inverted": func() { NewHistogram(10, 0, 5) },
+		"no bins":  func() { NewHistogram(0, 10, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	mean, hw := MeanCI([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(mean-5) > 1e-9 {
+		t.Fatalf("mean = %v", mean)
+	}
+	want := 1.96 * math.Sqrt(32.0/7) / math.Sqrt(8)
+	if math.Abs(hw-want) > 1e-9 {
+		t.Fatalf("halfWidth = %v, want %v", hw, want)
+	}
+	if m, h := MeanCI([]float64{3}); m != 3 || h != 0 {
+		t.Fatalf("single obs: %v ± %v", m, h)
+	}
+	if m, h := MeanCI(nil); m != 0 || h != 0 {
+		t.Fatalf("empty: %v ± %v", m, h)
+	}
+}
+
+func TestMedianOfMeans(t *testing.T) {
+	// One outlier group must not drag the estimate.
+	xs := []float64{1, 1, 1, 1, 100, 100, 1, 1, 1}
+	mom := MedianOfMeans(xs, 3)
+	if mom > 10 {
+		t.Fatalf("MedianOfMeans = %v, outlier not suppressed", mom)
+	}
+	if MedianOfMeans(nil, 3) != 0 {
+		t.Fatal("empty input not zero")
+	}
+	if got := MedianOfMeans([]float64{5, 7}, 1); got != 6 {
+		t.Fatalf("k=1 should be plain median: %v", got)
+	}
+}

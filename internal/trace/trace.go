@@ -1,0 +1,162 @@
+// Package trace records simulation events as structured entries, for
+// debugging protocol behaviour and for the annotated example runs. It
+// formalizes the ad-hoc frame sniffing used while developing the
+// protocols: a Recorder subscribes to the radio channel (and to protocol
+// hooks) and keeps a bounded in-memory log that can be filtered and
+// printed.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"ecgrid/internal/hostid"
+	"ecgrid/internal/radio"
+)
+
+// Entry is one recorded event.
+type Entry struct {
+	T    float64   // simulation time
+	Kind string    // event kind ("hello", "data", "rreq", "page", ...)
+	Src  hostid.ID // originating host (hostid.None when not applicable)
+	Dst  hostid.ID // addressed host (hostid.Broadcast / hostid.None)
+	Note string    // human-readable detail
+}
+
+// String renders the entry as one log line.
+func (e Entry) String() string {
+	return fmt.Sprintf("%10.4f  %-9s %-9s -> %-9s %s", e.T, e.Kind, e.Src, e.Dst, e.Note)
+}
+
+// Recorder accumulates entries up to a capacity; past it, the oldest
+// entries are discarded (it is a ring).
+type Recorder struct {
+	cap     int
+	entries []Entry
+	start   int // ring start index
+	total   uint64
+}
+
+// NewRecorder returns a recorder holding at most capacity entries.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		panic("trace: non-positive capacity")
+	}
+	return &Recorder{cap: capacity}
+}
+
+// Add records one entry.
+func (r *Recorder) Add(e Entry) {
+	r.total++
+	if len(r.entries) < r.cap {
+		r.entries = append(r.entries, e)
+		return
+	}
+	r.entries[r.start] = e
+	r.start = (r.start + 1) % r.cap
+}
+
+// Record is a convenience Add.
+func (r *Recorder) Record(t float64, kind string, src, dst hostid.ID, format string, args ...any) {
+	r.Add(Entry{T: t, Kind: kind, Src: src, Dst: dst, Note: fmt.Sprintf(format, args...)})
+}
+
+// Len returns the number of retained entries.
+func (r *Recorder) Len() int { return len(r.entries) }
+
+// Total returns the number of entries ever recorded (including ones the
+// ring has discarded).
+func (r *Recorder) Total() uint64 { return r.total }
+
+// Entries returns the retained entries in chronological order. The
+// returned slice is owned by the caller.
+func (r *Recorder) Entries() []Entry {
+	out := make([]Entry, 0, len(r.entries))
+	out = append(out, r.entries[r.start:]...)
+	out = append(out, r.entries[:r.start]...)
+	return out
+}
+
+// Filter returns the retained entries matching every provided predicate.
+func (r *Recorder) Filter(preds ...func(Entry) bool) []Entry {
+	var out []Entry
+outer:
+	for _, e := range r.Entries() {
+		for _, p := range preds {
+			if !p(e) {
+				continue outer
+			}
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// ByKind matches entries whose kind is one of the given kinds.
+func ByKind(kinds ...string) func(Entry) bool {
+	return func(e Entry) bool {
+		for _, k := range kinds {
+			if e.Kind == k {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// ByHost matches entries that involve the given host as source or
+// destination.
+func ByHost(id hostid.ID) func(Entry) bool {
+	return func(e Entry) bool { return e.Src == id || e.Dst == id }
+}
+
+// Between matches entries with lo ≤ T ≤ hi.
+func Between(lo, hi float64) func(Entry) bool {
+	return func(e Entry) bool { return e.T >= lo && e.T <= hi }
+}
+
+// Write prints entries one per line.
+func Write(w io.Writer, entries []Entry) error {
+	for _, e := range entries {
+		if _, err := fmt.Fprintln(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summarize returns per-kind counts of the retained entries, formatted
+// as "kind=N" pairs sorted by kind name.
+func (r *Recorder) Summarize() string {
+	counts := map[string]int{}
+	for _, e := range r.Entries() {
+		counts[e.Kind]++
+	}
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sortStrings(kinds)
+	parts := make([]string, 0, len(kinds))
+	for _, k := range kinds {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, counts[k]))
+	}
+	return strings.Join(parts, " ")
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// AttachRadio subscribes the recorder to every transmission on the
+// channel. It overwrites any previous sniffer.
+func (r *Recorder) AttachRadio(c *radio.Channel) {
+	c.Sniffer = func(f *radio.Frame, at float64) {
+		r.Record(at, f.Kind, f.Src, f.Dst, "%dB", f.Bytes)
+	}
+}

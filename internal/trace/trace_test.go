@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ecgrid/internal/energy"
+	"ecgrid/internal/geom"
+	"ecgrid/internal/hostid"
+	"ecgrid/internal/radio"
+	"ecgrid/internal/sim"
+)
+
+func entry(t float64, kind string, src, dst hostid.ID) Entry {
+	return Entry{T: t, Kind: kind, Src: src, Dst: dst}
+}
+
+func TestRecorderKeepsEntriesInOrder(t *testing.T) {
+	r := NewRecorder(10)
+	r.Add(entry(1, "a", 1, 2))
+	r.Add(entry(2, "b", 2, 3))
+	r.Add(entry(3, "c", 3, 4))
+	got := r.Entries()
+	if len(got) != 3 || got[0].Kind != "a" || got[2].Kind != "c" {
+		t.Fatalf("Entries = %v", got)
+	}
+	if r.Len() != 3 || r.Total() != 3 {
+		t.Fatalf("Len=%d Total=%d", r.Len(), r.Total())
+	}
+}
+
+func TestRecorderRingDiscardsOldest(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 1; i <= 5; i++ {
+		r.Add(entry(float64(i), "k", hostid.ID(i), 0))
+	}
+	got := r.Entries()
+	if len(got) != 3 {
+		t.Fatalf("kept %d entries, want 3", len(got))
+	}
+	if got[0].T != 3 || got[2].T != 5 {
+		t.Fatalf("ring order wrong: %v", got)
+	}
+	if r.Total() != 5 {
+		t.Fatalf("Total = %d", r.Total())
+	}
+}
+
+func TestFilterPredicates(t *testing.T) {
+	r := NewRecorder(10)
+	r.Add(entry(1, "hello", 1, hostid.Broadcast))
+	r.Add(entry(2, "data", 1, 2))
+	r.Add(entry(3, "data", 3, 4))
+	r.Add(entry(9, "rreq", 2, hostid.Broadcast))
+
+	if got := r.Filter(ByKind("data")); len(got) != 2 {
+		t.Fatalf("ByKind(data) = %v", got)
+	}
+	if got := r.Filter(ByKind("hello", "rreq")); len(got) != 2 {
+		t.Fatalf("ByKind(hello,rreq) = %v", got)
+	}
+	if got := r.Filter(ByHost(1)); len(got) != 2 {
+		t.Fatalf("ByHost(1) = %v", got)
+	}
+	if got := r.Filter(Between(2, 3)); len(got) != 2 {
+		t.Fatalf("Between(2,3) = %v", got)
+	}
+	if got := r.Filter(ByKind("data"), ByHost(3)); len(got) != 1 {
+		t.Fatalf("combined = %v", got)
+	}
+}
+
+func TestRecordFormatsNote(t *testing.T) {
+	r := NewRecorder(2)
+	r.Record(1.5, "page", 1, 2, "wake %d", 42)
+	e := r.Entries()[0]
+	if e.Note != "wake 42" {
+		t.Fatalf("Note = %q", e.Note)
+	}
+	if !strings.Contains(e.String(), "page") || !strings.Contains(e.String(), "host-1") {
+		t.Fatalf("String = %q", e.String())
+	}
+}
+
+func TestWriteAndSummarize(t *testing.T) {
+	r := NewRecorder(10)
+	r.Add(entry(1, "hello", 1, hostid.Broadcast))
+	r.Add(entry(2, "data", 1, 2))
+	r.Add(entry(3, "data", 2, 1))
+	var buf bytes.Buffer
+	if err := Write(&buf, r.Entries()); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 3 {
+		t.Fatalf("wrote %d lines", lines)
+	}
+	if s := r.Summarize(); s != "data=2 hello=1" {
+		t.Fatalf("Summarize = %q", s)
+	}
+}
+
+func TestNewRecorderValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRecorder(0) did not panic")
+		}
+	}()
+	NewRecorder(0)
+}
+
+// fakeEp is a minimal radio endpoint.
+type fakeEp struct {
+	id  hostid.ID
+	bat *energy.Battery
+}
+
+func (f *fakeEp) ID() hostid.ID            { return f.id }
+func (f *fakeEp) Position() geom.Point     { return geom.Point{} }
+func (f *fakeEp) Battery() *energy.Battery { return f.bat }
+func (f *fakeEp) Deliver(*radio.Frame)     {}
+
+func TestAttachRadioRecordsTransmissions(t *testing.T) {
+	e := sim.NewEngine()
+	ch := radio.NewChannel(e, sim.NewRNG(1), radio.DefaultConfig())
+	ch.Attach(&fakeEp{id: 1, bat: energy.NewBattery(energy.PaperModel(), 100)})
+	r := NewRecorder(10)
+	r.AttachRadio(ch)
+	e.Schedule(0.001, func() {
+		ch.Send(1, &radio.Frame{Kind: "hello", Dst: hostid.Broadcast, Bytes: 20})
+	})
+	e.Run(1)
+	got := r.Filter(ByKind("hello"))
+	if len(got) != 1 || got[0].Src != 1 {
+		t.Fatalf("recorded = %v", got)
+	}
+	if got[0].Note != "20B" {
+		t.Fatalf("note = %q", got[0].Note)
+	}
+}

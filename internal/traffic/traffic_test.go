@@ -1,0 +1,127 @@
+package traffic
+
+import (
+	"testing"
+
+	"ecgrid/internal/routing"
+	"ecgrid/internal/sim"
+)
+
+// capture collects submitted packets.
+type capture struct {
+	pkts []*routing.DataPacket
+}
+
+func (c *capture) SubmitData(pkt *routing.DataPacket) { c.pkts = append(c.pkts, pkt) }
+
+func TestCBREmitsAtRate(t *testing.T) {
+	e := sim.NewEngine()
+	snk := &capture{}
+	flow := &CBR{Flow: 1, Src: 3, Dst: 7, Rate: 10, Bytes: 512}
+	flow.Start(e, snk, 0)
+	e.Run(10)
+	// 10 pkt/s over 10 s with first packet at t=0.1: 100 packets.
+	if len(snk.pkts) != 100 {
+		t.Fatalf("emitted %d packets, want 100", len(snk.pkts))
+	}
+	if flow.Emitted() != 100 {
+		t.Fatalf("Emitted() = %d", flow.Emitted())
+	}
+}
+
+func TestCBRPacketContents(t *testing.T) {
+	e := sim.NewEngine()
+	snk := &capture{}
+	flow := &CBR{Flow: 2, Src: 3, Dst: 7, Rate: 1, Bytes: 512}
+	flow.Start(e, snk, 0.5)
+	e.Run(2)
+	if len(snk.pkts) != 1 {
+		t.Fatalf("emitted %d packets", len(snk.pkts))
+	}
+	p := snk.pkts[0]
+	if p.Flow != 2 || p.Src != 3 || p.Dst != 7 || p.Bytes != 512 || p.Seq != 1 {
+		t.Fatalf("packet = %+v", p)
+	}
+	if p.SentAt != 1.5 {
+		t.Fatalf("SentAt = %v, want 1.5 (period + phase)", p.SentAt)
+	}
+}
+
+func TestCBRSequencesIncrease(t *testing.T) {
+	e := sim.NewEngine()
+	snk := &capture{}
+	flow := &CBR{Flow: 1, Src: 1, Dst: 2, Rate: 5, Bytes: 100}
+	flow.Start(e, snk, 0)
+	e.Run(3)
+	for i, p := range snk.pkts {
+		if p.Seq != i+1 {
+			t.Fatalf("packet %d has seq %d", i, p.Seq)
+		}
+	}
+}
+
+func TestCBROnSendObserver(t *testing.T) {
+	e := sim.NewEngine()
+	snk := &capture{}
+	n := 0
+	flow := &CBR{Flow: 1, Src: 1, Dst: 2, Rate: 2, Bytes: 100}
+	flow.OnSend = func(pkt *routing.DataPacket) { n++ }
+	flow.Start(e, snk, 0)
+	e.Run(5)
+	if n != len(snk.pkts) || n == 0 {
+		t.Fatalf("OnSend saw %d, sink saw %d", n, len(snk.pkts))
+	}
+}
+
+func TestCBRGateSuppresses(t *testing.T) {
+	e := sim.NewEngine()
+	snk := &capture{}
+	open := true
+	flow := &CBR{Flow: 1, Src: 1, Dst: 2, Rate: 1, Bytes: 100}
+	flow.Gate = func() bool { return open }
+	flow.Start(e, snk, 0)
+	e.Run(3.5) // 3 packets
+	open = false
+	e.Run(10)
+	if len(snk.pkts) != 3 {
+		t.Fatalf("gate leaked: %d packets", len(snk.pkts))
+	}
+}
+
+func TestCBRStop(t *testing.T) {
+	e := sim.NewEngine()
+	snk := &capture{}
+	flow := &CBR{Flow: 1, Src: 1, Dst: 2, Rate: 1, Bytes: 100}
+	flow.Start(e, snk, 0)
+	e.Run(2.5)
+	flow.Stop()
+	e.Run(10)
+	if len(snk.pkts) != 2 {
+		t.Fatalf("stopped flow emitted %d packets, want 2", len(snk.pkts))
+	}
+}
+
+func TestCBRValidation(t *testing.T) {
+	for name, flow := range map[string]*CBR{
+		"zero rate":  {Rate: 0, Bytes: 100},
+		"zero bytes": {Rate: 1, Bytes: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			flow.Start(sim.NewEngine(), &capture{}, 0)
+		}()
+	}
+}
+
+func TestCBRNilSenderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil sender did not panic")
+		}
+	}()
+	(&CBR{Rate: 1, Bytes: 1}).Start(sim.NewEngine(), nil, 0)
+}
