@@ -1,5 +1,7 @@
 // Command figures regenerates the paper's evaluation figures (Figs 4–8,
-// both speed variants) as text tables or CSV.
+// both speed variants) as text tables or CSV. Each figure's simulations
+// (protocols × sweep points × seed replicates) fan out across a worker
+// pool; results are independent of the worker count.
 //
 // Usage:
 //
@@ -7,27 +9,41 @@
 //	figures -fig 4a         # one figure
 //	figures -csv -fig 7b    # CSV output
 //	figures -fast           # shrunken sweeps (shape-preserving)
+//	figures -parallel 1     # serial execution
+//	figures -manifest runs.jsonl -resume   # record runs; skip completed on rerun
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"ecgrid/internal/experiment"
 )
 
 func main() {
 	var (
-		fig   = flag.String("fig", "", "figure to regenerate (4a..8b); empty runs all")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		fast  = flag.Bool("fast", false, "shrunken sweeps for quick runs")
-		seed  = flag.Int64("seed", 1, "random seed")
-		seeds = flag.Int("seeds", 1, "repeat across this many seeds and report mean±CI")
-		out   = flag.String("out", "", "also write one CSV per figure into this directory")
+		fig      = flag.String("fig", "", "figure to regenerate (4a..8b); empty runs all")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		fast     = flag.Bool("fast", false, "shrunken sweeps for quick runs")
+		seed     = flag.Int64("seed", 1, "random seed")
+		seeds    = flag.Int("seeds", 1, "repeat across this many seeds and report mean±CI")
+		out      = flag.String("out", "", "also write one CSV per figure into this directory")
+		parallel = flag.Int("parallel", 0, "concurrent simulations; 0 uses all cores, 1 runs serially")
+		manifest = flag.String("manifest", "", "append a JSONL manifest of completed runs to this file")
+		resume   = flag.Bool("resume", false, "skip runs already recorded in the -manifest file")
+		quiet    = flag.Bool("q", false, "suppress per-run progress on stderr")
 	)
 	flag.Parse()
+
+	if *resume && *manifest == "" {
+		fmt.Fprintln(os.Stderr, "-resume needs -manifest to name the file")
+		os.Exit(2)
+	}
 
 	var figs []experiment.Figure
 	overhead := false
@@ -41,13 +57,24 @@ func main() {
 		figs = []experiment.Figure{experiment.Figure(*fig)}
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	opt := experiment.Options{
-		Seed:  *seed,
-		Seeds: *seeds,
-		Fast:  *fast,
-		Progress: func(s string) {
+		Seed:     *seed,
+		Seeds:    *seeds,
+		Fast:     *fast,
+		Workers:  *parallel,
+		Manifest: *manifest,
+		Resume:   *resume,
+		Context:  ctx,
+	}
+	if !*quiet {
+		// The batch layer serializes calls, so this closure needs no
+		// locking even with -parallel > 1.
+		opt.Progress = func(s string) {
 			fmt.Fprintf(os.Stderr, "running %s\n", s)
-		},
+		}
 	}
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {

@@ -1,10 +1,14 @@
 // Command repro checks the paper's evaluation claims against fresh
 // simulation runs and prints a PASS/FAIL checklist — the repository's
-// reproduction status as a program.
+// reproduction status as a program. Claims are checked concurrently; the
+// simulations they share are deduplicated and capped by -parallel, and
+// the checklist prints in claim order regardless of completion order.
 //
 //	repro            # full horizons (a couple of minutes)
 //	repro -fast      # shrunken horizons
 //	repro -v         # show each simulation as it runs
+//	repro -parallel 1                 # serial execution
+//	repro -out runs.jsonl -resume     # record runs; skip completed on rerun
 package main
 
 import (
@@ -17,20 +21,37 @@ import (
 
 func main() {
 	var (
-		seed    = flag.Int64("seed", 1, "random seed")
-		fast    = flag.Bool("fast", false, "shrunken horizons")
-		verbose = flag.Bool("v", false, "print each simulation run")
+		seed     = flag.Int64("seed", 1, "random seed")
+		fast     = flag.Bool("fast", false, "shrunken horizons")
+		verbose  = flag.Bool("v", false, "print each simulation run")
+		parallel = flag.Int("parallel", 0, "concurrent simulations; 0 uses all cores, 1 runs serially")
+		out      = flag.String("out", "", "append a JSONL manifest of completed runs to this file")
+		resume   = flag.Bool("resume", false, "skip runs already recorded in the -out manifest")
 	)
 	flag.Parse()
 
+	if *resume && *out == "" {
+		fmt.Fprintln(os.Stderr, "-resume needs -out to name the manifest")
+		os.Exit(2)
+	}
+
 	env := claims.NewEnv(*seed, *fast)
+	env.Workers = *parallel
+	env.Manifest = *out
+	env.Resume = *resume
 	if *verbose {
 		env.Progress = func(s string) { fmt.Fprintf(os.Stderr, "running %s\n", s) }
 	}
 
+	all := claims.All()
+	verdicts := claims.CheckAll(env, all, *parallel)
+	if err := env.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+
 	failures := 0
-	for _, c := range claims.All() {
-		v := c.Check(env)
+	for i, c := range all {
+		v := verdicts[i]
 		status := "PASS"
 		if !v.Pass {
 			status = "FAIL"
@@ -39,8 +60,8 @@ func main() {
 		fmt.Printf("[%s] %s\n       %s\n       measured: %s\n\n", status, c.ID, c.Statement, v.Detail)
 	}
 	if failures > 0 {
-		fmt.Printf("%d of %d claims failed\n", failures, len(claims.All()))
+		fmt.Printf("%d of %d claims failed\n", failures, len(all))
 		os.Exit(1)
 	}
-	fmt.Printf("all %d claims reproduced\n", len(claims.All()))
+	fmt.Printf("all %d claims reproduced\n", len(all))
 }

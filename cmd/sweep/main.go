@@ -2,22 +2,32 @@
 // prints a CSV row per run: protocol, the swept value, delivery rate,
 // mean latency, first death, final alive fraction, and aen.
 //
+// Runs fan out across a worker pool (-parallel; every worker count
+// reproduces the serial results exactly), and -out records a JSONL
+// manifest as runs complete so an interrupted sweep restarts where it
+// left off with -resume.
+//
 // Usage:
 //
 //	sweep -param hosts -values 50,100,150,200 -protocols grid,ecgrid
 //	sweep -param pause -values 0,100,200,300,400,500,600
 //	sweep -param speed -values 1,2,5,10 -duration 590
 //	sweep -param seed  -values 1,2,3,4,5 -protocols ecgrid
+//	sweep -param hosts -values 50,100,150,200 -out sweep.jsonl -parallel 8
+//	sweep -param hosts -values 50,100,150,200 -out sweep.jsonl -resume
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
-	"ecgrid/internal/runner"
+	"ecgrid/internal/batch"
 	"ecgrid/internal/scenario"
 )
 
@@ -28,9 +38,24 @@ func main() {
 		protocols = flag.String("protocols", "grid,ecgrid,gaf", "comma-separated protocols")
 		duration  = flag.Float64("duration", 590, "simulated seconds per run")
 		seed      = flag.Int64("seed", 1, "base random seed")
+		parallel  = flag.Int("parallel", 0, "concurrent runs; 0 uses all cores, 1 runs serially")
+		out       = flag.String("out", "", "append a JSONL manifest of completed runs to this file")
+		resume    = flag.Bool("resume", false, "skip runs already recorded in the -out manifest")
+		retries   = flag.Int("retries", 0, "extra attempts for a failed run")
 	)
 	flag.Parse()
 
+	// Validate the full request up front: an unknown protocol or value
+	// must exit(2) immediately, not panic halfway through a sweep.
+	var protos []scenario.ProtocolKind
+	for _, p := range strings.Split(*protocols, ",") {
+		proto, err := scenario.ParseProtocol(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		protos = append(protos, proto)
+	}
 	var vals []float64
 	for _, v := range strings.Split(*values, ",") {
 		f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
@@ -40,10 +65,8 @@ func main() {
 		}
 		vals = append(vals, f)
 	}
-
-	fmt.Printf("protocol,%s,delivery_rate,mean_latency_ms,first_death_s,alive_end,aen_end\n", *param)
-	for _, p := range strings.Split(*protocols, ",") {
-		proto := scenario.ProtocolKind(strings.TrimSpace(p))
+	var jobs []batch.Job
+	for _, proto := range protos {
 		for _, v := range vals {
 			cfg := scenario.Default(proto)
 			cfg.Duration = *duration
@@ -71,9 +94,61 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(2)
 			}
-			r := runner.Run(cfg)
+			jobs = append(jobs, batch.Job{Tag: fmt.Sprintf("%s %s=%g", proto, *param, v), Cfg: cfg})
+		}
+	}
+
+	if *resume && *out == "" {
+		fmt.Fprintln(os.Stderr, "-resume needs -out to name the manifest")
+		os.Exit(2)
+	}
+	opt := batch.Options{
+		Workers: *parallel,
+		Retries: *retries,
+		// The batch layer already says what each line means ("tag",
+		// "tag (resumed)", retry notices), so print it unadorned.
+		Progress: batch.NewSink(func(s string) { fmt.Fprintln(os.Stderr, s) }),
+	}
+	if *out != "" {
+		if *resume {
+			entries, err := batch.LoadManifest(*out)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			opt.Resume = entries
+		}
+		m, err := batch.CreateManifest(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer m.Close()
+		opt.Manifest = m
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	results, sum := batch.Run(ctx, jobs, opt)
+
+	fmt.Printf("protocol,%s,delivery_rate,mean_latency_ms,first_death_s,alive_end,aen_end\n", *param)
+	i := 0
+	for _, proto := range protos {
+		for _, v := range vals {
+			res := results[i]
+			i++
+			if res.Err != nil {
+				fmt.Fprintf(os.Stderr, "failed %s: %v\n", res.Tag, res.Err)
+				continue
+			}
+			r := res.Res
 			fmt.Printf("%s,%g,%.4f,%.3f,%.1f,%.3f,%.4f\n",
 				proto, v, r.DeliveryRate, r.MeanLatency*1000, r.FirstDeathAt, r.LastAlive, r.Collector.Aen.Last())
 		}
+	}
+	if err := sum.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,246 @@
+// Package batch fans independent simulation runs across a worker pool
+// while preserving bit-identical, deterministically ordered results.
+//
+// Every (protocol, sweep-point, seed) simulation in this repository is an
+// independent deterministic computation: runner.Run builds a private
+// engine, RNG, channel, and collector per call, so runs can execute
+// concurrently without sharing state. This package supplies the
+// orchestration the evaluation layers need on top of that fact:
+//
+//   - a Job/Result model where results are collected by job index, never
+//     by completion order, so any worker count reproduces the serial
+//     output exactly;
+//   - a stable content key per job (SHA-256 of the canonical config
+//     encoding, see Key) and a JSONL manifest written as runs complete,
+//     so a partially finished sweep can be resumed with the completed
+//     jobs skipped and their recorded results rehydrated;
+//   - per-job panic isolation with the goroutine stack captured, a
+//     bounded retry policy, and a failed-jobs Summary instead of one bad
+//     configuration killing a 200-run sweep;
+//   - context.Context cancellation and a goroutine-safe progress Sink
+//     that serializes lines from concurrent workers.
+//
+// Run executes a job list known up front; Executor accepts jobs
+// discovered dynamically (cmd/repro's claims) and deduplicates identical
+// submissions.
+package batch
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
+
+	"ecgrid/internal/runner"
+	"ecgrid/internal/scenario"
+)
+
+// Job is one simulation to run.
+type Job struct {
+	// Tag is an optional human-readable label used in progress lines and
+	// manifest entries.
+	Tag string
+	// Cfg is the scenario to run. It must be valid; an invalid config
+	// panics inside runner.Run and surfaces as a failed Result.
+	Cfg scenario.Config
+}
+
+// Result is the outcome of one job. Run returns results in job order.
+type Result struct {
+	// Index is the job's position in the submitted list.
+	Index int
+	// Tag echoes Job.Tag.
+	Tag string
+	// Key is the job's stable content key (see Key).
+	Key string
+	// Res holds the simulation results; nil when Err is non-nil.
+	Res *runner.Results
+	// Err is the terminal failure after all attempts, a *PanicError when
+	// the run panicked, or the context error when cancelled before the
+	// job could run.
+	Err error
+	// Attempts counts executions, 0 for resumed or cancelled jobs.
+	Attempts int
+	// Resumed marks a job satisfied from the resume manifest.
+	Resumed bool
+}
+
+// Options tune a batch run.
+type Options struct {
+	// Workers caps concurrent simulations; <= 0 uses GOMAXPROCS.
+	Workers int
+	// Retries is the number of extra attempts after a failed run.
+	Retries int
+	// Progress, if non-nil, receives one line as each job starts, resumes,
+	// or fails.
+	Progress *Sink
+	// Manifest, if non-nil, records an Entry as each job completes.
+	Manifest *Manifest
+	// Resume maps content keys to previously completed manifest entries
+	// (from LoadManifest); jobs whose key has a successful entry are not
+	// re-run — their results are rehydrated from the entry.
+	Resume map[string]Entry
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Summary aggregates a batch run's outcome.
+type Summary struct {
+	Total     int
+	Executed  int
+	Resumed   int
+	Failed    int
+	Cancelled int
+	// FailedJobs lists the failed results (also present in the main
+	// slice) so callers can report them without rescanning.
+	FailedJobs []Result
+}
+
+// Err returns nil when every job produced results, and otherwise an
+// error describing the failed and cancelled jobs.
+func (s Summary) Err() error {
+	if s.Failed == 0 && s.Cancelled == 0 {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "batch: %d of %d jobs failed", s.Failed+s.Cancelled, s.Total)
+	for i, r := range s.FailedJobs {
+		if i == 3 {
+			fmt.Fprintf(&b, "; ...")
+			break
+		}
+		fmt.Fprintf(&b, "; job %d (%s): %v", r.Index, r.Tag, r.Err)
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+// PanicError is a panic captured from a simulation run.
+type PanicError struct {
+	Value string // the panic value, stringified
+	Stack string // the goroutine stack at recovery
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %s", e.Value)
+}
+
+// Run executes the jobs across a worker pool and returns one Result per
+// job, in job order. A failed or panicking job never stops the others;
+// consult the Summary (or each Result.Err) for failures. Cancelling ctx
+// stops feeding new jobs; jobs never started carry ctx's error.
+func Run(ctx context.Context, jobs []Job, opt Options) ([]Result, Summary) {
+	results := make([]Result, len(jobs))
+	pending := make([]int, 0, len(jobs))
+	sum := Summary{Total: len(jobs)}
+
+	for i, j := range jobs {
+		results[i] = Result{Index: i, Tag: j.Tag, Key: Key(j.Cfg)}
+		if e, ok := opt.Resume[results[i].Key]; ok && e.Resumable() {
+			results[i].Res = e.Results
+			results[i].Resumed = true
+			sum.Resumed++
+			opt.Progress.Log("%s (resumed)", j.Tag)
+			continue
+		}
+		pending = append(pending, i)
+	}
+
+	workers := opt.workers()
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	idxCh := make(chan int)
+	go func() {
+		defer close(idxCh)
+		for _, i := range pending {
+			// ctx.Err first: when both select cases are ready the choice
+			// is random, and an already-cancelled batch must feed nothing.
+			if ctx.Err() != nil {
+				return
+			}
+			select {
+			case idxCh <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				res, attempts, err := execute(jobs[i].Tag, jobs[i].Cfg, opt)
+				results[i].Res = res
+				results[i].Attempts = attempts
+				results[i].Err = err
+				record(opt.Manifest, jobs[i].Cfg, results[i])
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, i := range pending {
+		r := &results[i]
+		switch {
+		case r.Err != nil:
+			sum.Failed++
+			sum.FailedJobs = append(sum.FailedJobs, *r)
+		case r.Res != nil:
+			sum.Executed++
+		default: // never fed: the context was cancelled first
+			r.Err = context.Cause(ctx)
+			sum.Cancelled++
+			sum.FailedJobs = append(sum.FailedJobs, *r)
+		}
+	}
+	return results, sum
+}
+
+// execute runs one config with panic isolation and the retry policy.
+func execute(tag string, cfg scenario.Config, opt Options) (res *runner.Results, attempts int, err error) {
+	for attempts = 1; ; attempts++ {
+		opt.Progress.Log("%s", tag)
+		res, err = runOnce(cfg)
+		if err == nil || attempts > opt.Retries {
+			return res, attempts, err
+		}
+		opt.Progress.Log("%s: attempt %d failed (%v), retrying", tag, attempts, err)
+	}
+}
+
+// runOnce executes a single simulation, converting a panic into an error
+// with the captured stack.
+func runOnce(cfg scenario.Config) (res *runner.Results, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: fmt.Sprint(r), Stack: string(debug.Stack())}
+		}
+	}()
+	return runner.Run(cfg), nil
+}
+
+// record appends the job's manifest entry, if a manifest is attached.
+func record(m *Manifest, cfg scenario.Config, r Result) {
+	if m == nil {
+		return
+	}
+	e := Entry{Key: r.Key, Tag: r.Tag, Status: StatusOK, Attempts: r.Attempts, Results: r.Res}
+	if r.Err != nil {
+		e.Status = StatusFailed
+		e.Error = r.Err.Error()
+		if p, ok := r.Err.(*PanicError); ok {
+			e.Stack = p.Stack
+		}
+		e.Cfg = &cfg
+	}
+	m.Append(e)
+}

@@ -1,0 +1,44 @@
+package batch
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"ecgrid/internal/scenario"
+)
+
+// benchJobs is a small multi-seed figure-style sweep: one protocol, six
+// seed replicates — the shape cmd/figures -seeds produces.
+func benchJobs() []Job {
+	var jobs []Job
+	for seed := int64(1); seed <= 6; seed++ {
+		cfg := tinyCfg(scenario.ECGRID, seed)
+		cfg.Duration = 60
+		jobs = append(jobs, Job{Tag: fmt.Sprintf("bench seed=%d", seed), Cfg: cfg})
+	}
+	return jobs
+}
+
+func benchBatch(b *testing.B, workers int) {
+	b.ReportAllocs()
+	jobs := benchJobs()
+	for i := 0; i < b.N; i++ {
+		results, sum := Run(context.Background(), jobs, Options{Workers: workers})
+		if err := sum.Err(); err != nil {
+			b.Fatal(err)
+		}
+		if results[0].Res == nil {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkBatchSerial and BenchmarkBatchParallel run the same sweep at
+// workers=1 and workers=GOMAXPROCS; their ratio is the wall-clock
+// speedup the pool buys on this machine (≈1 on a single core, ≈cores on
+// multi-core hardware since the jobs are embarrassingly parallel).
+func BenchmarkBatchSerial(b *testing.B) { benchBatch(b, 1) }
+
+func BenchmarkBatchParallel(b *testing.B) { benchBatch(b, runtime.GOMAXPROCS(0)) }

@@ -1,0 +1,93 @@
+package batch
+
+import (
+	"context"
+	"sync"
+
+	"ecgrid/internal/runner"
+	"ecgrid/internal/scenario"
+)
+
+// Executor runs configs submitted one at a time, from any goroutine,
+// through a shared worker pool. Where Run wants the whole job list up
+// front, Executor serves consumers that discover their runs dynamically
+// — cmd/repro's claims each request the simulations they need from
+// inside their check functions, and several claims need the same runs.
+//
+// Submissions are deduplicated by content key: concurrent and repeated
+// submissions of the same canonical config share one execution (and one
+// manifest entry), and completed results are cached for the executor's
+// lifetime. Panic isolation, retries, the resume manifest, and the
+// progress sink behave exactly as in Run.
+type Executor struct {
+	ctx context.Context
+	opt Options
+	sem chan struct{}
+
+	mu    sync.Mutex
+	calls map[string]*call
+}
+
+// call is one deduplicated execution.
+type call struct {
+	done chan struct{}
+	res  *runner.Results
+	err  error
+}
+
+// NewExecutor returns an executor whose workers, retries, progress,
+// manifest, and resume map come from opt. Cancelling ctx fails pending
+// and future submissions with the context's error.
+func NewExecutor(ctx context.Context, opt Options) *Executor {
+	return &Executor{
+		ctx:   ctx,
+		opt:   opt,
+		sem:   make(chan struct{}, opt.workers()),
+		calls: make(map[string]*call),
+	}
+}
+
+// Run executes cfg (or joins an identical in-flight execution, or
+// rehydrates it from the resume manifest) and blocks until its results
+// are available.
+func (x *Executor) Run(tag string, cfg scenario.Config) (*runner.Results, error) {
+	key := Key(cfg)
+	x.mu.Lock()
+	if c, ok := x.calls[key]; ok {
+		x.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.res, c.err
+		case <-x.ctx.Done():
+			return nil, context.Cause(x.ctx)
+		}
+	}
+	c := &call{done: make(chan struct{})}
+	x.calls[key] = c
+	x.mu.Unlock()
+
+	defer close(c.done)
+	if e, ok := x.opt.Resume[key]; ok && e.Resumable() {
+		x.opt.Progress.Log("%s (resumed)", tag)
+		c.res = e.Results
+		return c.res, nil
+	}
+	// Explicit pre-check: a select with both cases ready picks randomly,
+	// which would let a cancelled executor accept work.
+	if x.ctx.Err() != nil {
+		c.err = context.Cause(x.ctx)
+		return nil, c.err
+	}
+	select {
+	case x.sem <- struct{}{}:
+	case <-x.ctx.Done():
+		c.err = context.Cause(x.ctx)
+		return nil, c.err
+	}
+	defer func() { <-x.sem }()
+
+	res, attempts, err := execute(tag, cfg, x.opt)
+	c.res, c.err = res, err
+	record(x.opt.Manifest, cfg, Result{Key: key, Tag: tag, Res: res, Attempts: attempts, Err: err})
+	return c.res, c.err
+}

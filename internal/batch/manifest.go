@@ -1,0 +1,148 @@
+package batch
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"ecgrid/internal/runner"
+	"ecgrid/internal/scenario"
+)
+
+// Manifest file format: one JSON Entry per line (JSONL), appended as jobs
+// complete. A sweep interrupted halfway leaves a manifest whose
+// successful entries let the next invocation skip straight to the
+// missing jobs (--resume); the recorded Results are rehydrated so
+// consumers cannot tell a resumed job from a fresh one.
+//
+// Rehydration caveat: a Results decoded from JSON carries the exported
+// state only — every scalar metric plus the Collector's Alive/Aen
+// series. Collector methods backed by unexported accumulators (Sent,
+// LatencyPercentile, ...) read zero on a rehydrated value; consumers
+// that need such quantities across resume must use the exported Results
+// fields (Sent, MedianLatency, ...), which all of this repository's do.
+
+// Entry status values.
+const (
+	StatusOK     = "ok"
+	StatusFailed = "failed"
+)
+
+// Entry is one manifest line: the outcome of one job.
+type Entry struct {
+	Key      string `json:"key"`
+	Tag      string `json:"tag,omitempty"`
+	Status   string `json:"status"`
+	Attempts int    `json:"attempts"`
+	// Error and Stack describe a failed run (Stack only for panics).
+	Error string `json:"error,omitempty"`
+	Stack string `json:"stack,omitempty"`
+	// Cfg is recorded for failed runs so they can be reproduced; for
+	// successful runs the config is inside Results.
+	Cfg *scenario.Config `json:"cfg,omitempty"`
+	// Results is the full serialized outcome of a successful run.
+	Results *runner.Results `json:"results,omitempty"`
+}
+
+// Resumable reports whether the entry can satisfy a job without
+// re-running it. Failed entries are not resumable: rerunning with
+// --resume retries exactly the jobs that failed or never ran.
+func (e Entry) Resumable() bool {
+	return e.Status == StatusOK && e.Results != nil
+}
+
+// Manifest appends entries to a JSONL stream. Append is safe to call
+// from concurrent workers; entries land in completion order (resume is
+// keyed by content, so order carries no meaning).
+type Manifest struct {
+	mu  sync.Mutex
+	w   io.Writer
+	c   io.Closer
+	err error
+}
+
+// NewManifest writes entries to w.
+func NewManifest(w io.Writer) *Manifest {
+	return &Manifest{w: w}
+}
+
+// CreateManifest opens path for appending, creating it if needed, so an
+// interrupted sweep's manifest keeps growing across invocations.
+func CreateManifest(path string) (*Manifest, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("batch: manifest: %w", err)
+	}
+	return &Manifest{w: f, c: f}, nil
+}
+
+// Append records one entry. Errors are sticky and reported by Close, so
+// workers need not handle them mid-run.
+func (m *Manifest) Append(e Entry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.err != nil {
+		return
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		m.err = fmt.Errorf("batch: manifest: marshal: %w", err)
+		return
+	}
+	data = append(data, '\n')
+	if _, err := m.w.Write(data); err != nil {
+		m.err = fmt.Errorf("batch: manifest: %w", err)
+	}
+}
+
+// Close flushes the manifest and returns the first write error, if any.
+func (m *Manifest) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.c != nil {
+		if err := m.c.Close(); err != nil && m.err == nil {
+			m.err = fmt.Errorf("batch: manifest: %w", err)
+		}
+		m.c = nil
+	}
+	return m.err
+}
+
+// LoadManifest reads a manifest back as a key→entry map for
+// Options.Resume. The latest entry per key wins, so a key that failed
+// and then succeeded on a later invocation resumes. A missing file is an
+// empty manifest, not an error — the first run of a sweep may pass
+// --resume unconditionally.
+func LoadManifest(path string) (map[string]Entry, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return map[string]Entry{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("batch: manifest: %w", err)
+	}
+	defer f.Close()
+	entries := map[string]Entry{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("batch: manifest %s:%d: %w", path, line, err)
+		}
+		entries[e.Key] = e
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("batch: manifest %s: %w", path, err)
+	}
+	return entries, nil
+}

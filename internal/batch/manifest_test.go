@@ -1,0 +1,146 @@
+package batch
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ecgrid/internal/scenario"
+)
+
+func TestManifestResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	jobs := tinyJobs()
+
+	m, err := CreateManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First invocation: run only half the jobs, as if interrupted.
+	first, sum := Run(context.Background(), jobs[:3], Options{Workers: 2, Manifest: m})
+	if err := sum.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("manifest holds %d entries, want 3", len(entries))
+	}
+
+	// Second invocation: the full job list with resume. The recorded
+	// jobs must be skipped, the rest executed.
+	m2, err := CreateManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	second, sum2 := Run(context.Background(), jobs, Options{
+		Workers:  2,
+		Manifest: m2,
+		Resume:   entries,
+		Progress: NewSink(func(s string) { lines = append(lines, s) }),
+	})
+	if err := sum2.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sum2.Resumed != 3 || sum2.Executed != len(jobs)-3 {
+		t.Fatalf("summary = %+v, want 3 resumed / %d executed", sum2, len(jobs)-3)
+	}
+	resumedLines := 0
+	for _, l := range lines {
+		if strings.Contains(l, "(resumed)") {
+			resumedLines++
+		}
+	}
+	if resumedLines != 3 {
+		t.Errorf("progress shows %d resumed lines, want 3", resumedLines)
+	}
+
+	// Rehydrated results must match the originals byte for byte on the
+	// serialized (exported) state consumers read.
+	for i := 0; i < 3; i++ {
+		if !second[i].Resumed {
+			t.Errorf("job %d not marked resumed", i)
+		}
+		a, b := marshal(t, first[i].Res), marshal(t, second[i].Res)
+		if string(a) != string(b) {
+			t.Errorf("job %d: rehydrated results differ from the recorded run", i)
+		}
+		r := second[i].Res
+		if r.Collector == nil || len(r.Collector.Alive.Points) == 0 {
+			t.Errorf("job %d: rehydrated collector series missing", i)
+		}
+	}
+
+	// Third invocation resumes everything: zero executions.
+	third, sum3 := Run(context.Background(), jobs, Options{Resume: mustLoad(t, path)})
+	if sum3.Executed != 0 || sum3.Resumed != len(jobs) {
+		t.Fatalf("full resume executed %d jobs", sum3.Executed)
+	}
+	if len(third) != len(jobs) {
+		t.Fatalf("result count %d", len(third))
+	}
+}
+
+func mustLoad(t *testing.T, path string) map[string]Entry {
+	t.Helper()
+	entries, err := LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return entries
+}
+
+func TestFailedEntriesAreNotResumable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	bad := tinyCfg(scenario.ECGRID, 1)
+	bad.Hosts = -1
+	m, err := CreateManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sum := Run(context.Background(), []Job{{Tag: "bad", Cfg: bad}}, Options{Manifest: m})
+	if sum.Failed != 1 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries := mustLoad(t, path)
+	e, ok := entries[Key(bad)]
+	if !ok {
+		t.Fatal("failed run missing from manifest")
+	}
+	if e.Status != StatusFailed || e.Error == "" || e.Stack == "" || e.Cfg == nil {
+		t.Fatalf("failed entry incomplete: %+v", e)
+	}
+	if e.Resumable() {
+		t.Fatal("failed entry claims to be resumable")
+	}
+	// Resuming with it must re-run (and fail again, configs being
+	// deterministic) rather than skip.
+	_, sum2 := Run(context.Background(), []Job{{Tag: "bad", Cfg: bad}}, Options{Resume: entries})
+	if sum2.Resumed != 0 || sum2.Failed != 1 {
+		t.Fatalf("failed entry was resumed: %+v", sum2)
+	}
+}
+
+func TestLoadManifestMissingFile(t *testing.T) {
+	entries, err := LoadManifest(filepath.Join(t.TempDir(), "absent.jsonl"))
+	if err != nil {
+		t.Fatalf("missing manifest is an error: %v", err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("missing manifest yields %d entries", len(entries))
+	}
+}

@@ -1,0 +1,34 @@
+package batch
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Sink serializes progress lines from concurrent workers into a single
+// callback. It replaces handing a raw func(string) to code that may call
+// it from many goroutines: the sink guarantees the callback runs in one
+// goroutine at a time, so plain closures (appending to a slice, writing
+// a terminal line) need no locking of their own. A nil *Sink, or a Sink
+// around a nil callback, drops lines, so callers can log
+// unconditionally.
+type Sink struct {
+	mu sync.Mutex
+	fn func(string)
+}
+
+// NewSink wraps fn; fn may be nil.
+func NewSink(fn func(string)) *Sink {
+	return &Sink{fn: fn}
+}
+
+// Log formats and delivers one progress line.
+func (s *Sink) Log(format string, args ...any) {
+	if s == nil || s.fn == nil {
+		return
+	}
+	line := fmt.Sprintf(format, args...)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fn(line)
+}

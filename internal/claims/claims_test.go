@@ -1,6 +1,9 @@
 package claims
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestClaimsWellFormed(t *testing.T) {
 	seen := map[string]bool{}
@@ -35,12 +38,27 @@ func TestAllClaimsPassFast(t *testing.T) {
 		t.Skip("runs many simulations")
 	}
 	e := NewEnv(1, true)
-	for _, c := range All() {
-		c := c
-		t.Run(c.ID, func(t *testing.T) {
-			if v := c.Check(e); !v.Pass {
-				t.Errorf("claim failed: %s\nmeasured: %s", c.Statement, v.Detail)
-			}
-		})
+	// CheckAll fans the claims out across workers; the shared runs
+	// deduplicate in the Env's executor. Verdicts stay in claim order.
+	verdicts := CheckAll(e, All(), 4)
+	for i, c := range All() {
+		if v := verdicts[i]; !v.Pass {
+			t.Errorf("claim %s failed: %s\nmeasured: %s", c.ID, c.Statement, v.Detail)
+		}
+	}
+}
+
+func TestCheckAllPanicIsolation(t *testing.T) {
+	claims := []Claim{
+		{ID: "ok", Statement: "fine", Check: func(*Env) Verdict { return Verdict{Pass: true, Detail: "ok"} }},
+		{ID: "boom", Statement: "panics", Check: func(*Env) Verdict { panic("exploded") }},
+		{ID: "ok2", Statement: "fine", Check: func(*Env) Verdict { return Verdict{Pass: true, Detail: "ok"} }},
+	}
+	v := CheckAll(NewEnv(1, true), claims, 3)
+	if !v[0].Pass || !v[2].Pass {
+		t.Fatalf("healthy claims failed: %+v", v)
+	}
+	if v[1].Pass || !strings.Contains(v[1].Detail, "exploded") {
+		t.Fatalf("panicking claim verdict = %+v", v[1])
 	}
 }

@@ -10,13 +10,22 @@
 //
 // The (a) variants use a 1 m/s top speed, the (b) variants 10 m/s, as in
 // the paper.
+//
+// Execution is batched: each figure first plans every simulation it
+// needs (all protocols, sweep points, and seed replicates), then fans
+// the whole job list across internal/batch's worker pool and folds the
+// indexed results back into series. Because every simulation is
+// deterministic and results are collected by job index, any Workers
+// setting reproduces the serial output exactly.
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 
+	"ecgrid/internal/batch"
 	"ecgrid/internal/runner"
 	"ecgrid/internal/scenario"
 	"ecgrid/internal/stats"
@@ -55,8 +64,24 @@ type Options struct {
 	// Fast shrinks the sweep (shorter horizon, fewer pause points) for
 	// benchmarks and smoke tests. The series keep their shape.
 	Fast bool
-	// Progress, if non-nil, receives a line per sub-run.
+	// Progress, if non-nil, receives a line per sub-run. It is invoked
+	// from one goroutine at a time (serialized through a batch.Sink), so
+	// plain closures are safe even with Workers > 1; lines arrive in
+	// completion order, not plan order.
 	Progress func(string)
+	// Workers caps concurrent simulation runs; <= 0 uses GOMAXPROCS.
+	// Results are identical for every value (see the package comment).
+	Workers int
+	// Retries is the number of extra attempts after a failed run.
+	Retries int
+	// Manifest, when non-empty, appends a JSONL manifest entry per
+	// completed run to this path (see internal/batch).
+	Manifest string
+	// Resume, when true, loads Manifest first and skips runs whose
+	// results are already recorded there.
+	Resume bool
+	// Context, when non-nil, cancels in-flight sweeps.
+	Context context.Context
 }
 
 // Point is one sample of a result series.
@@ -82,26 +107,93 @@ type Result struct {
 	Series []Series
 }
 
+// plan is a set of simulations plus the fold that turns their indexed
+// results into a figure.
+type plan struct {
+	res  *Result
+	jobs []batch.Job
+	fold func(runs []*runner.Results)
+}
+
+// add appends one simulation to the plan.
+func (p *plan) add(tag string, cfg scenario.Config) {
+	p.jobs = append(p.jobs, batch.Job{Tag: tag, Cfg: cfg})
+}
+
 // Run reproduces the given figure. With Options.Seeds > 1 the sweep is
 // repeated across seeds and the series report means with confidence
-// half-widths.
+// half-widths; all replicates join one batch, so seed repeats fan out
+// across workers just like sweep points do.
 func Run(fig Figure, opt Options) (*Result, error) {
 	seeds := opt.Seeds
-	if seeds <= 1 {
-		return runOne(fig, opt)
+	if seeds < 1 {
+		seeds = 1
 	}
-	results := make([]*Result, 0, seeds)
+	plans := make([]*plan, seeds)
+	var jobs []batch.Job
 	for i := 0; i < seeds; i++ {
 		o := opt
-		o.Seeds = 1
 		o.Seed = opt.Seed + int64(i)
-		r, err := runOne(fig, o)
+		p, err := planOne(fig, o)
 		if err != nil {
 			return nil, err
 		}
-		results = append(results, r)
+		plans[i] = p
+		jobs = append(jobs, p.jobs...)
+	}
+	runs, err := runJobs(jobs, opt)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*Result, seeds)
+	off := 0
+	for i, p := range plans {
+		p.fold(runs[off : off+len(p.jobs)])
+		off += len(p.jobs)
+		results[i] = p.res
+	}
+	if seeds == 1 {
+		return results[0], nil
 	}
 	return average(results), nil
+}
+
+// runJobs executes a job list under the options' batch settings and
+// returns the results in job order, or an error if any job failed.
+func runJobs(jobs []batch.Job, opt Options) ([]*runner.Results, error) {
+	bopt := batch.Options{
+		Workers:  opt.Workers,
+		Retries:  opt.Retries,
+		Progress: batch.NewSink(opt.Progress),
+	}
+	if opt.Manifest != "" {
+		if opt.Resume {
+			resume, err := batch.LoadManifest(opt.Manifest)
+			if err != nil {
+				return nil, err
+			}
+			bopt.Resume = resume
+		}
+		m, err := batch.CreateManifest(opt.Manifest)
+		if err != nil {
+			return nil, err
+		}
+		defer m.Close()
+		bopt.Manifest = m
+	}
+	ctx := opt.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results, sum := batch.Run(ctx, jobs, bopt)
+	if err := sum.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]*runner.Results, len(results))
+	for i, r := range results {
+		out[i] = r.Res
+	}
+	return out, nil
 }
 
 // average merges same-shaped results into per-point means with 95 %
@@ -125,8 +217,8 @@ func average(results []*Result) *Result {
 	return &out
 }
 
-// runOne reproduces the figure for a single seed.
-func runOne(fig Figure, opt Options) (*Result, error) {
+// planOne builds the figure's simulation plan for a single seed.
+func planOne(fig Figure, opt Options) (*plan, error) {
 	speed := 1.0
 	switch fig {
 	case Fig4b, Fig5b, Fig6b, Fig7b, Fig8b:
@@ -137,21 +229,15 @@ func runOne(fig Figure, opt Options) (*Result, error) {
 	}
 	switch fig {
 	case Fig4a, Fig4b:
-		return runAliveVsTime(fig, speed, opt)
+		return planAliveVsTime(fig, speed, opt), nil
 	case Fig5a, Fig5b:
-		return runAenVsTime(fig, speed, opt)
+		return planAenVsTime(fig, speed, opt), nil
 	case Fig6a, Fig6b:
-		return runPauseSweep(fig, speed, opt, true)
+		return planPauseSweep(fig, speed, opt, true), nil
 	case Fig7a, Fig7b:
-		return runPauseSweep(fig, speed, opt, false)
+		return planPauseSweep(fig, speed, opt, false), nil
 	default: // 8a, 8b
-		return runDensity(fig, speed, opt)
-	}
-}
-
-func (o Options) progress(format string, args ...any) {
-	if o.Progress != nil {
-		o.Progress(fmt.Sprintf(format, args...))
+		return planDensity(fig, speed, opt), nil
 	}
 }
 
@@ -166,126 +252,148 @@ func baseConfig(p scenario.ProtocolKind, speed float64, seed int64) scenario.Con
 // protocols in the order the paper's legends use.
 var protocols = []scenario.ProtocolKind{scenario.GRID, scenario.ECGRID, scenario.GAF}
 
-// runAliveVsTime reproduces Fig 4: fraction of alive hosts vs simulation
+// sampleSeries reads a collector time series at step intervals.
+func sampleSeries(label string, s *stats.Series, horizon, step float64) Series {
+	out := Series{Label: label}
+	for x := 0.0; x <= horizon; x += step {
+		out.Points = append(out.Points, Point{X: x, Y: s.At(x)})
+	}
+	return out
+}
+
+// planAliveVsTime reproduces Fig 4: fraction of alive hosts vs simulation
 // time, 100 hosts, 10 pkt/s, pause 0.
-func runAliveVsTime(fig Figure, speed float64, opt Options) (*Result, error) {
+func planAliveVsTime(fig Figure, speed float64, opt Options) *plan {
 	horizon, step := 2000.0, 100.0
 	if opt.Fast {
 		horizon, step = 700, 100
 	}
-	res := &Result{
+	p := &plan{res: &Result{
 		Figure: fig,
 		Title:  fmt.Sprintf("Fraction of alive hosts vs time (speed ≤ %g m/s)", speed),
 		XLabel: "Simulation time (s)",
 		YLabel: "Fraction of alive hosts",
-	}
-	for _, p := range protocols {
-		cfg := baseConfig(p, speed, opt.Seed)
+	}}
+	for _, proto := range protocols {
+		cfg := baseConfig(proto, speed, opt.Seed)
 		cfg.Duration = horizon
-		opt.progress("fig %s: %v", fig, cfg)
-		r := runner.Run(cfg)
-		s := Series{Label: string(p)}
-		for x := 0.0; x <= horizon; x += step {
-			s.Points = append(s.Points, Point{X: x, Y: r.Collector.Alive.At(x)})
-		}
-		res.Series = append(res.Series, s)
+		p.add(fmt.Sprintf("fig %s: %v", fig, cfg), cfg)
 	}
-	return res, nil
+	p.fold = func(runs []*runner.Results) {
+		for i, proto := range protocols {
+			p.res.Series = append(p.res.Series,
+				sampleSeries(string(proto), &runs[i].Collector.Alive, horizon, step))
+		}
+	}
+	return p
 }
 
-// runAenVsTime reproduces Fig 5: the paper's Eq. (2), normalized by the
+// planAenVsTime reproduces Fig 5: the paper's Eq. (2), normalized by the
 // initial per-host energy so the y-axis runs 0..1.
-func runAenVsTime(fig Figure, speed float64, opt Options) (*Result, error) {
+func planAenVsTime(fig Figure, speed float64, opt Options) *plan {
 	horizon, step := 2000.0, 100.0
 	if opt.Fast {
 		horizon, step = 700, 100
 	}
-	res := &Result{
+	p := &plan{res: &Result{
 		Figure: fig,
 		Title:  fmt.Sprintf("Mean energy consumption per host (aen) vs time (speed ≤ %g m/s)", speed),
 		XLabel: "Simulation time (s)",
 		YLabel: "aen (fraction of initial energy)",
-	}
-	for _, p := range protocols {
-		cfg := baseConfig(p, speed, opt.Seed)
+	}}
+	for _, proto := range protocols {
+		cfg := baseConfig(proto, speed, opt.Seed)
 		cfg.Duration = horizon
-		opt.progress("fig %s: %v", fig, cfg)
-		r := runner.Run(cfg)
-		s := Series{Label: string(p)}
-		for x := 0.0; x <= horizon; x += step {
-			s.Points = append(s.Points, Point{X: x, Y: r.Collector.Aen.At(x)})
-		}
-		res.Series = append(res.Series, s)
+		p.add(fmt.Sprintf("fig %s: %v", fig, cfg), cfg)
 	}
-	return res, nil
+	p.fold = func(runs []*runner.Results) {
+		for i, proto := range protocols {
+			p.res.Series = append(p.res.Series,
+				sampleSeries(string(proto), &runs[i].Collector.Aen, horizon, step))
+		}
+	}
+	return p
 }
 
-// runPauseSweep reproduces Figs 6 and 7: latency (ms) or delivery rate vs
+// planPauseSweep reproduces Figs 6 and 7: latency (ms) or delivery rate vs
 // pause time, at simulation time 590 s (when the GRID network exhausts).
-func runPauseSweep(fig Figure, speed float64, opt Options, latency bool) (*Result, error) {
+func planPauseSweep(fig Figure, speed float64, opt Options, latency bool) *plan {
 	pauses := []float64{0, 100, 200, 300, 400, 500, 600}
 	duration := 590.0
 	if opt.Fast {
 		pauses = []float64{0, 300, 600}
 		duration = 300
 	}
-	res := &Result{Figure: fig, XLabel: "Pause time (s)"}
+	p := &plan{res: &Result{Figure: fig, XLabel: "Pause time (s)"}}
 	if latency {
-		res.Title = fmt.Sprintf("Packet delivery latency vs pause time (speed ≤ %g m/s)", speed)
-		res.YLabel = "Latency (ms)"
+		p.res.Title = fmt.Sprintf("Packet delivery latency vs pause time (speed ≤ %g m/s)", speed)
+		p.res.YLabel = "Latency (ms)"
 	} else {
-		res.Title = fmt.Sprintf("Packet delivery rate vs pause time (speed ≤ %g m/s)", speed)
-		res.YLabel = "Delivery rate"
+		p.res.Title = fmt.Sprintf("Packet delivery rate vs pause time (speed ≤ %g m/s)", speed)
+		p.res.YLabel = "Delivery rate"
 	}
-	for _, p := range protocols {
-		s := Series{Label: string(p)}
+	for _, proto := range protocols {
 		for _, pause := range pauses {
-			cfg := baseConfig(p, speed, opt.Seed)
+			cfg := baseConfig(proto, speed, opt.Seed)
 			cfg.PauseTime = pause
 			cfg.Duration = duration
-			opt.progress("fig %s: %v", fig, cfg)
-			r := runner.Run(cfg)
-			y := r.DeliveryRate
-			if latency {
-				y = r.MeanLatency * 1000
-			}
-			s.Points = append(s.Points, Point{X: pause, Y: y})
+			p.add(fmt.Sprintf("fig %s: %v", fig, cfg), cfg)
 		}
-		res.Series = append(res.Series, s)
 	}
-	return res, nil
+	p.fold = func(runs []*runner.Results) {
+		i := 0
+		for _, proto := range protocols {
+			s := Series{Label: string(proto)}
+			for _, pause := range pauses {
+				r := runs[i]
+				i++
+				y := r.DeliveryRate
+				if latency {
+					y = r.MeanLatency * 1000
+				}
+				s.Points = append(s.Points, Point{X: pause, Y: y})
+			}
+			p.res.Series = append(p.res.Series, s)
+		}
+	}
+	return p
 }
 
-// runDensity reproduces Fig 8: alive fraction vs time for GRID and ECGRID
+// planDensity reproduces Fig 8: alive fraction vs time for GRID and ECGRID
 // at 50, 100, 150 and 200 hosts.
-func runDensity(fig Figure, speed float64, opt Options) (*Result, error) {
+func planDensity(fig Figure, speed float64, opt Options) *plan {
 	horizon, step := 2000.0, 100.0
 	densities := []int{50, 100, 150, 200}
 	if opt.Fast {
 		horizon = 700
 		densities = []int{50, 200}
 	}
-	res := &Result{
+	p := &plan{res: &Result{
 		Figure: fig,
 		Title:  fmt.Sprintf("Alive hosts vs time across host densities (speed ≤ %g m/s)", speed),
 		XLabel: "Simulation time (s)",
 		YLabel: "Fraction of alive hosts",
-	}
-	for _, p := range []scenario.ProtocolKind{scenario.GRID, scenario.ECGRID} {
+	}}
+	densityProtocols := []scenario.ProtocolKind{scenario.GRID, scenario.ECGRID}
+	for _, proto := range densityProtocols {
 		for _, n := range densities {
-			cfg := baseConfig(p, speed, opt.Seed)
+			cfg := baseConfig(proto, speed, opt.Seed)
 			cfg.Hosts = n
 			cfg.Duration = horizon
-			opt.progress("fig %s: %v", fig, cfg)
-			r := runner.Run(cfg)
-			s := Series{Label: fmt.Sprintf("%s n=%d", p, n)}
-			for x := 0.0; x <= horizon; x += step {
-				s.Points = append(s.Points, Point{X: x, Y: r.Collector.Alive.At(x)})
-			}
-			res.Series = append(res.Series, s)
+			p.add(fmt.Sprintf("fig %s: %v", fig, cfg), cfg)
 		}
 	}
-	return res, nil
+	p.fold = func(runs []*runner.Results) {
+		i := 0
+		for _, proto := range densityProtocols {
+			for _, n := range densities {
+				p.res.Series = append(p.res.Series,
+					sampleSeries(fmt.Sprintf("%s n=%d", proto, n), &runs[i].Collector.Alive, horizon, step))
+				i++
+			}
+		}
+	}
+	return p
 }
 
 // WriteTable renders the figure as an aligned text table: one row per X,

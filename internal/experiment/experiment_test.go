@@ -2,6 +2,8 @@ package experiment
 
 import (
 	"bytes"
+	"encoding/json"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -140,6 +142,64 @@ func TestFig8aFastShape(t *testing.T) {
 	if last["ecgrid n=200"] <= last["grid n=200"] {
 		t.Errorf("ECGRID (%.2f) not above GRID (%.2f) at n=200",
 			last["ecgrid n=200"], last["grid n=200"])
+	}
+}
+
+// TestParallelMatchesSerial: the same figure, with seed replicates,
+// produces byte-identical serialized results at workers=1 and workers=8
+// — the batch layer's core guarantee, asserted at the figure level.
+func TestParallelMatchesSerial(t *testing.T) {
+	opt := Options{Seed: 1, Seeds: 2, Fast: true}
+	opt.Workers = 1
+	serial, err := Run(Fig7a, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Workers = 8
+	parallel, err := Run(Fig7a, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := json.Marshal(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("workers=1 and workers=8 disagree:\n%s\n%s", a, b)
+	}
+}
+
+// TestManifestResumeReproducesFigure: a figure regenerated from its own
+// manifest (all runs resumed) equals the original.
+func TestManifestResumeReproducesFigure(t *testing.T) {
+	opt := Options{Seed: 1, Fast: true}
+	opt.Manifest = filepath.Join(t.TempDir(), "fig.jsonl")
+	first, err := Run(Fig7a, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Resume = true
+	resumed := 0
+	opt.Progress = func(s string) {
+		if strings.Contains(s, "(resumed)") {
+			resumed++
+		}
+	}
+	second, err := Run(Fig7a, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed == 0 {
+		t.Fatal("no runs were resumed from the manifest")
+	}
+	a, _ := json.Marshal(first)
+	b, _ := json.Marshal(second)
+	if string(a) != string(b) {
+		t.Fatal("resumed figure differs from the original")
 	}
 }
 

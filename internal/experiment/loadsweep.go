@@ -1,7 +1,9 @@
 package experiment
 
 import (
-	"ecgrid/internal/runner"
+	"fmt"
+
+	"ecgrid/internal/batch"
 )
 
 // RunLoadSweep is an extension experiment covering the paper's second
@@ -10,7 +12,8 @@ import (
 // 1 pkt/s flows). This sweep varies the per-flow rate from the paper's
 // light setting up to its heavy one (10 flows × 10 pkt/s = 100 pkt/s
 // network load, 20 % of the 2 Mbps channel) and reports how delivery and
-// latency hold up for each protocol.
+// latency hold up for each protocol. Like the figures, the whole
+// (protocol × rate) grid fans out across the batch worker pool.
 func RunLoadSweep(opt Options) (*Result, error) {
 	rates := []float64{1, 2, 5, 10}
 	duration := 400.0
@@ -24,15 +27,25 @@ func RunLoadSweep(opt Options) (*Result, error) {
 		XLabel: "Per-flow rate (pkt/s)",
 		YLabel: "Delivery rate",
 	}
+	var jobs []batch.Job
 	for _, p := range protocols {
-		s := Series{Label: string(p)}
 		for _, rate := range rates {
 			cfg := baseConfig(p, 1, opt.Seed)
 			cfg.RatePerFlow = rate
 			cfg.Duration = duration
-			opt.progress("load sweep: %v", cfg)
-			r := runner.Run(cfg)
-			s.Points = append(s.Points, Point{X: rate, Y: r.DeliveryRate})
+			jobs = append(jobs, batch.Job{Tag: fmt.Sprintf("load sweep: %v", cfg), Cfg: cfg})
+		}
+	}
+	runs, err := runJobs(jobs, opt)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, p := range protocols {
+		s := Series{Label: string(p)}
+		for _, rate := range rates {
+			s.Points = append(s.Points, Point{X: rate, Y: runs[i].DeliveryRate})
+			i++
 		}
 		res.Series = append(res.Series, s)
 	}

@@ -5,8 +5,8 @@ import (
 	"io"
 	"sort"
 
+	"ecgrid/internal/batch"
 	"ecgrid/internal/radio"
-	"ecgrid/internal/runner"
 	"ecgrid/internal/scenario"
 )
 
@@ -43,18 +43,27 @@ type OverheadResult struct {
 }
 
 // RunOverhead measures the air-usage breakdown of all three protocols on
-// the paper's common setup.
+// the paper's common setup, running the protocols concurrently through
+// the batch pool. It panics if a run fails (the configs are fixed and
+// known-valid; only resource exhaustion can fail here).
 func RunOverhead(opt Options) *OverheadResult {
 	duration := 400.0
 	if opt.Fast {
 		duration = 120
 	}
-	res := &OverheadResult{}
+	var jobs []batch.Job
 	for _, p := range protocols {
 		cfg := baseConfig(p, 1, opt.Seed)
 		cfg.Duration = duration
-		opt.progress("overhead: %v", cfg)
-		r := runner.Run(cfg)
+		jobs = append(jobs, batch.Job{Tag: fmt.Sprintf("overhead: %v", cfg), Cfg: cfg})
+	}
+	runs, err := runJobs(jobs, opt)
+	if err != nil {
+		panic(err)
+	}
+	res := &OverheadResult{}
+	for i, p := range protocols {
+		r := runs[i]
 		row := OverheadRow{
 			Protocol:  p,
 			Delivered: r.Delivered,

@@ -38,6 +38,10 @@ type Results struct {
 	Sent, Delivered, Duplicates int
 	DeliveryRate                float64
 	MeanLatency, MaxLatency     float64
+	// MedianLatency is the 0.5-quantile of delivery delays, exported so
+	// it survives manifest serialization (internal/batch) where the
+	// collector's raw latency samples do not.
+	MedianLatency float64
 
 	Deaths       int
 	FirstDeathAt float64 // -1 if none
@@ -237,20 +241,21 @@ func Run(cfg scenario.Config) *Results {
 
 	// Collect results.
 	res := &Results{
-		Cfg:          cfg,
-		Sent:         col.Sent(),
-		Delivered:    col.Delivered(),
-		Duplicates:   col.Duplicates(),
-		DeliveryRate: col.DeliveryRate(),
-		MeanLatency:  col.MeanLatencySeconds(),
-		MaxLatency:   col.MaxLatencySeconds(),
-		Deaths:       col.Deaths(),
-		FirstDeathAt: col.FirstDeathAt(),
-		LastAlive:    col.Alive.Last(),
-		Radio:        channel.Counters(),
-		PerKind:      channel.PerKind(),
-		Protocol:     make(map[string]uint64),
-		Collector:    col,
+		Cfg:           cfg,
+		Sent:          col.Sent(),
+		Delivered:     col.Delivered(),
+		Duplicates:    col.Duplicates(),
+		DeliveryRate:  col.DeliveryRate(),
+		MeanLatency:   col.MeanLatencySeconds(),
+		MaxLatency:    col.MaxLatencySeconds(),
+		MedianLatency: col.LatencyPercentile(0.5),
+		Deaths:        col.Deaths(),
+		FirstDeathAt:  col.FirstDeathAt(),
+		LastAlive:     col.Alive.Last(),
+		Radio:         channel.Counters(),
+		PerKind:       channel.PerKind(),
+		Protocol:      make(map[string]uint64),
+		Collector:     col,
 	}
 	for _, p := range col.Alive.Points {
 		res.Alive = append(res.Alive, struct{ T, V float64 }{p.T, p.V})

@@ -7,6 +7,7 @@ package scenario
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"ecgrid/internal/core"
 	"ecgrid/internal/protocols/gaf"
@@ -33,6 +34,25 @@ const (
 	// PSM-style duty cycling for everyone else.
 	SPAN ProtocolKind = "span"
 )
+
+// Known lists every protocol kind, in the order the paper introduces
+// them.
+func Known() []ProtocolKind {
+	return []ProtocolKind{ECGRID, GRID, GAF, AODV, SPAN}
+}
+
+// ParseProtocol resolves a user-supplied protocol name
+// (case-insensitive, surrounding space ignored), so CLIs can reject an
+// unknown name up front instead of panicking mid-sweep.
+func ParseProtocol(s string) (ProtocolKind, error) {
+	p := ProtocolKind(strings.ToLower(strings.TrimSpace(s)))
+	for _, k := range Known() {
+		if p == k {
+			return k, nil
+		}
+	}
+	return "", fmt.Errorf("scenario: unknown protocol %q (known: %v)", s, Known())
+}
 
 // Config describes one run.
 type Config struct {
