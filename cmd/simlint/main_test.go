@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRegistersAllFour pins the driver's registry: every analyzer of the
+// suite must be wired in, exactly once.
+func TestRegistersAllFour(t *testing.T) {
+	want := map[string]bool{
+		"maprange":   false,
+		"walltime":   false,
+		"globalrand": false,
+		"floateq":    false,
+	}
+	as := analyzers()
+	if len(as) != len(want) {
+		t.Fatalf("driver registers %d analyzers, want %d", len(as), len(want))
+	}
+	for _, a := range as {
+		seen, known := want[a.Name]
+		if !known {
+			t.Errorf("unknown analyzer %q registered", a.Name)
+		}
+		if seen {
+			t.Errorf("analyzer %q registered twice", a.Name)
+		}
+		want[a.Name] = true
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("analyzer %q not registered", name)
+		}
+	}
+}
+
+func TestRunFlagsViolation(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"testdata/badpkg"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "global rand.Intn") || !strings.Contains(stdout.String(), "globalrand") {
+		t.Errorf("diagnostic output missing globalrand finding:\n%s", stdout.String())
+	}
+}
+
+func TestRunBadPattern(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./no/such/dir"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+// TestRepoIsClean is the shipped-tree guarantee: the full suite over the
+// whole repo reports nothing.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repo from source")
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", "../..", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("simlint over the repo: exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+}

@@ -1,0 +1,9 @@
+// Package badpkg is a driver-test fixture carrying a deliberate
+// globalrand violation (the one analyzer whose scope is the whole repo,
+// so it fires even under cmd/...).
+package badpkg
+
+import "math/rand"
+
+// Draw perturbs every other consumer of the global source.
+func Draw() int { return rand.Intn(6) }

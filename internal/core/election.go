@@ -67,6 +67,7 @@ func (p *Protocol) finishElection() {
 	}
 	winner := me
 	now := p.host.Now()
+	//simlint:ordered better() is a strict total order (id tie-break), so the argmax is unique
 	for _, h := range p.heard {
 		if h.id == p.host.ID() {
 			continue

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"ecgrid/internal/grid"
 	"ecgrid/internal/hostid"
 	"ecgrid/internal/radio"
@@ -151,27 +153,38 @@ func (p *Protocol) routeData(m *routing.Data) {
 	p.sendRERR(pkt.Src, pkt.Dst)
 }
 
+// sortedNeighborCells returns the neighbor-table keys sorted by (X, Y),
+// so hot-path decisions iterate the table in an order independent of
+// Go's per-process map hash.
+func (p *Protocol) sortedNeighborCells() []grid.Coord {
+	cells := make([]grid.Coord, 0, len(p.neighbors))
+	//simlint:ordered keys are sorted immediately below
+	for c := range p.neighbors {
+		cells = append(cells, c)
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		a, b := cells[i], cells[j]
+		return a.X < b.X || (a.X == b.X && a.Y < b.Y)
+	})
+	return cells
+}
+
 // greedyNeighbor picks the alive neighbor gateway whose grid is strictly
 // closer (in grid hops) to target than our own, preferring the closest.
+// Iterating cells in sorted order makes the equal-distance tie-break the
+// (X, Y)-smallest cell, independent of map iteration order.
 func (p *Protocol) greedyNeighbor(target grid.Coord) (gw hostid.ID, next grid.Coord, ok bool) {
 	now := p.host.Now()
 	best := p.myGrid.ChebyshevDist(target)
 	found := false
-	for c, n := range p.neighbors {
+	for _, c := range p.sortedNeighborCells() {
+		n := p.neighbors[c]
 		if now-n.seen > p.opt.NeighborGWTTL {
 			continue
 		}
-		d := c.ChebyshevDist(target)
-		if d > best {
-			continue
-		}
-		// Strict progress toward the target, with a deterministic
-		// tie-break so map iteration order cannot perturb runs.
-		better := d < best
-		if !better && found && d == best {
-			better = c.X < next.X || (c.X == next.X && c.Y < next.Y)
-		}
-		if better {
+		// Strict progress toward the target; the first cell at the
+		// winning distance keeps the slot.
+		if d := c.ChebyshevDist(target); d < best {
 			best, gw, next, found = d, n.id, c, true
 		}
 	}

@@ -99,6 +99,7 @@ func (p *Protocol) retire(cell grid.Coord, reason string) {
 func (p *Protocol) pickSuccessor() hostid.ID {
 	now := p.host.Now()
 	var best *helloInfo
+	//simlint:ordered better() is a strict total order (id tie-break), so the argmax is unique
 	for _, h := range p.heard {
 		if h.id == p.host.ID() {
 			continue

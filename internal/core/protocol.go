@@ -178,7 +178,7 @@ func (p *Protocol) Stopped() {
 	for _, t := range []*sim.Timer{p.electionTimer, p.gwWaitTimer, p.sleepTimer, p.idleTimer, p.acqTimer} {
 		t.Stop()
 	}
-	for _, d := range p.discovery {
+	for _, d := range p.discovery { //simlint:ordered stops every timer; order-insensitive
 		d.timer.Stop()
 	}
 }

@@ -20,8 +20,8 @@ func (p *Protocol) TxFailed(f *radio.Frame) {
 	// Negative neighbor feedback: if the dead unicast addressed a
 	// cached neighbor gateway, that cache entry is wrong — drop it so
 	// the next decision does not repeat the mistake.
-	for c, n := range p.neighbors {
-		if n.id == f.Dst {
+	for _, c := range p.sortedNeighborCells() {
+		if p.neighbors[c].id == f.Dst {
 			delete(p.neighbors, c)
 		}
 	}

@@ -175,7 +175,7 @@ func (b *Battery) accrue(now float64) {
 		panic(fmt.Sprintf("energy: time moved backwards: %v -> %v", b.lastT, now))
 	}
 	b.lastT = now
-	if b.dead || dt == 0 {
+	if b.dead || dt <= 0 {
 		return
 	}
 	spent := b.model.Power(b.mode) * dt

@@ -50,7 +50,7 @@ func (v Vector) Scale(s float64) Vector { return Vector{v.DX * s, v.DY * s} }
 // returned unchanged.
 func (v Vector) Unit() Vector {
 	l := v.Len()
-	if l == 0 {
+	if l == 0 { //simlint:exact only an exactly-zero length cannot be normalized
 		return v
 	}
 	return Vector{v.DX / l, v.DY / l}

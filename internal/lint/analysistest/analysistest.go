@@ -1,0 +1,118 @@
+// Package analysistest runs a lint.Analyzer over fixture packages and
+// checks its diagnostics against `// want` expectations embedded in the
+// fixture source, mirroring the golang.org/x/tools analysistest
+// convention on top of the dependency-free internal/lint framework.
+//
+// Fixtures live under <testdata>/src/<importpath>/, one package per
+// directory; the import-path label chooses which package-scoped
+// analyzers fire (e.g. a fixture under src/ecgrid/internal/core/ is
+// inside maprange's simulation scope). A line expecting a diagnostic
+// carries a trailing comment with one or more quoted regular
+// expressions:
+//
+//	for k := range m { // want `range over map`
+//
+// Every reported diagnostic must match a want on its line and every
+// want must be matched, otherwise the test fails.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ecgrid/internal/lint"
+)
+
+// wantRx extracts the quoted patterns of a `// want` comment: Go string
+// literals, either back-quoted or double-quoted.
+var wantRx = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// Run loads each fixture package and applies the analyzer, failing t on
+// any mismatch between reported diagnostics and `// want` expectations.
+func Run(t *testing.T, testdata string, a *lint.Analyzer, importPaths ...string) {
+	t.Helper()
+	for _, ip := range importPaths {
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(ip))
+		pkg, err := lint.LoadDir(dir, ip)
+		if err != nil {
+			t.Errorf("loading fixture %s: %v", ip, err)
+			continue
+		}
+		diags, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
+		if err != nil {
+			t.Errorf("running %s on %s: %v", a.Name, ip, err)
+			continue
+		}
+		checkWants(t, pkg, diags)
+	}
+}
+
+// want is one expected diagnostic.
+type want struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+func checkWants(t *testing.T, pkg *lint.Package, diags []lint.Diagnostic) {
+	t.Helper()
+	wants, err := collectWants(pkg)
+	if err != nil {
+		t.Error(err)
+		return
+	}
+	for _, d := range diags {
+		ok := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.rx.MatchString(d.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.rx)
+		}
+	}
+}
+
+func collectWants(pkg *lint.Package) ([]*want, error) {
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lits := wantRx.FindAllString(rest, -1)
+				if len(lits) == 0 {
+					return nil, fmt.Errorf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+				}
+				for _, lit := range lits {
+					pat, err := strconv.Unquote(lit)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want literal %s: %v", pos.Filename, pos.Line, lit, err)
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, rx: rx})
+				}
+			}
+		}
+	}
+	return wants, nil
+}

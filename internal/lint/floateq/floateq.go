@@ -1,0 +1,60 @@
+// Package floateq flags == and != between floating-point operands in the
+// geometry, energy, and metrics packages, where values are accumulated
+// over thousands of events and exact equality silently depends on
+// rounding. Compare with a tolerance (math.Abs(a-b) <= eps) instead, or
+// annotate the comparison when exactness is the point (a guard against
+// division by exactly zero, a sentinel value never produced by
+// arithmetic):
+//
+//	if l == 0 { //simlint:exact only exact zero cannot be normalized
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ecgrid/internal/lint"
+)
+
+// Analyzer is the floateq check.
+var Analyzer = &lint.Analyzer{
+	Name: "floateq",
+	Doc:  "flags ==/!= between floating-point operands where tolerance comparison is required",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	if !lint.InScope(pass.Pkg.Path, lint.FloatPackages) {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			x, xok := pass.Pkg.Info.Types[be.X]
+			y, yok := pass.Pkg.Info.Types[be.Y]
+			if !xok || !yok || (!isFloat(x.Type) && !isFloat(y.Type)) {
+				return true
+			}
+			if x.Value != nil && y.Value != nil {
+				return true // both constant: folded at compile time
+			}
+			if pass.Suppressed(be, "exact") {
+				return true
+			}
+			pass.Reportf(be.Pos(),
+				"floating-point %s comparison: use a tolerance or annotate //simlint:exact with a justification",
+				be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,15 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"ecgrid/internal/lint/analysistest"
+	"ecgrid/internal/lint/floateq"
+)
+
+func TestFloatEq(t *testing.T) {
+	analysistest.Run(t, "testdata", floateq.Analyzer,
+		"ecgrid/internal/geom/fefix",  // in scope: hits and suppressions
+		"ecgrid/internal/sim/feclean", // out of scope: no diagnostics
+	)
+}

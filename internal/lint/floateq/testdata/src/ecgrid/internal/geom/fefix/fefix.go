@@ -1,0 +1,37 @@
+// Package fefix exercises floateq inside a float-scoped package path.
+package fefix
+
+import "math"
+
+func hits(a, b float64, f float32) bool {
+	if a == b { // want `floating-point == comparison`
+		return true
+	}
+	if f != 0 { // want `floating-point != comparison`
+		return false
+	}
+	return a != b-1 // want `floating-point != comparison`
+}
+
+func suppressedTrailing(l float64) float64 {
+	if l == 0 { //simlint:exact only exact zero cannot be inverted
+		return 0
+	}
+	return 1 / l
+}
+
+func suppressedAbove(v, sentinel float64) bool {
+	//simlint:exact sentinel is assigned, never computed
+	return v == sentinel
+}
+
+func clean(i, j int, s string, a, b float64) bool {
+	const eps = 1e-9
+	if i == j || s == "x" {
+		return true
+	}
+	if 1.5 == 3.0/2.0 { // both constant: folded at compile time
+		return math.Abs(a-b) <= eps
+	}
+	return a < b
+}

@@ -1,0 +1,5 @@
+// Package feclean lives outside the floateq scope (the engine compares
+// event timestamps exactly by design), so nothing here is flagged.
+package feclean
+
+func Same(a, b float64) bool { return a == b }

@@ -1,0 +1,91 @@
+// Package globalrand bans the top-level math/rand convenience functions
+// (rand.Intn, rand.Float64, rand.Seed, ...) everywhere in the repo
+// except internal/sim/rng.go. Those functions draw from a process-global
+// source, so one extra draw anywhere perturbs every other consumer —
+// the opposite of the named, independently-seeded sim.RNG streams the
+// simulator is built on. Constructing private generators
+// (rand.New(rand.NewSource(seed))) is allowed; that is exactly what
+// sim.RNG does.
+package globalrand
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"ecgrid/internal/lint"
+)
+
+// Analyzer is the globalrand check.
+var Analyzer = &lint.Analyzer{
+	Name: "globalrand",
+	Doc:  "bans global math/rand functions; randomness must flow through named sim.RNG streams",
+	Run:  run,
+}
+
+// banned lists the math/rand (and math/rand/v2) package-level functions
+// that draw from the shared global source. Constructors (New, NewSource,
+// NewZipf, NewPCG, NewChaCha8) stay legal.
+var banned = map[string]bool{
+	"Seed":        true,
+	"Int":         true,
+	"Intn":        true,
+	"IntN":        true,
+	"Int31":       true,
+	"Int31n":      true,
+	"Int32":       true,
+	"Int32N":      true,
+	"Int63":       true,
+	"Int63n":      true,
+	"Int64":       true,
+	"Int64N":      true,
+	"Uint":        true,
+	"UintN":       true,
+	"Uint32":      true,
+	"Uint32N":     true,
+	"Uint64":      true,
+	"Uint64N":     true,
+	"Float32":     true,
+	"Float64":     true,
+	"ExpFloat64":  true,
+	"NormFloat64": true,
+	"Perm":        true,
+	"Shuffle":     true,
+	"Read":        true,
+	"N":           true,
+}
+
+// exemptSuffix is the one file allowed to touch math/rand globals: the
+// stream factory itself.
+const exemptSuffix = "/internal/sim/rng.go"
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || !banned[fn.Name()] {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // *rand.Rand methods are fine: that is a named stream
+			}
+			file := filepath.ToSlash(pass.Pkg.Fset.Position(sel.Pos()).Filename)
+			if strings.HasSuffix(file, exemptSuffix) {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"global rand.%s draws from the process-wide source; use a named sim.RNG stream instead",
+				fn.Name())
+			return true
+		})
+	}
+	return nil
+}

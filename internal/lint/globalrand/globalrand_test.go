@@ -1,0 +1,15 @@
+package globalrand_test
+
+import (
+	"testing"
+
+	"ecgrid/internal/lint/analysistest"
+	"ecgrid/internal/lint/globalrand"
+)
+
+func TestGlobalRand(t *testing.T) {
+	analysistest.Run(t, "testdata", globalrand.Analyzer,
+		"ecgrid/internal/traffic/grfix", // banned everywhere; constructors legal
+		"ecgrid/internal/sim",           // rng.go exempt, sibling file not
+	)
+}

@@ -1,0 +1,8 @@
+package sim
+
+import "math/rand"
+
+// sameDirHit proves the exemption is per-file, not per-package.
+func sameDirHit() int {
+	return rand.Intn(3) // want `global rand.Intn`
+}

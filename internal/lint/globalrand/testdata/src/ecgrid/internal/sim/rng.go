@@ -1,0 +1,8 @@
+// Package sim mirrors internal/sim: rng.go is the one file exempt from
+// the globalrand ban (it is the stream factory itself).
+package sim
+
+import "math/rand"
+
+// FromGlobal would be flagged anywhere else in the repo.
+func FromGlobal() int { return rand.Intn(3) }

@@ -1,0 +1,25 @@
+// Package grfix exercises globalrand: the ban applies in every package,
+// but private generators and *rand.Rand methods stay legal.
+package grfix
+
+import "math/rand"
+
+func hits() int {
+	rand.Seed(7)          // want `global rand.Seed draws from the process-wide source`
+	x := rand.Intn(10)    // want `global rand.Intn`
+	_ = rand.Float64()    // want `global rand.Float64`
+	rand.Shuffle(3, noop) // want `global rand.Shuffle`
+	_ = rand.Perm(4)      // want `global rand.Perm`
+	f := rand.ExpFloat64  // want `global rand.ExpFloat64`
+	_ = f
+	return x
+}
+
+func noop(i, j int) {}
+
+func clean(r *rand.Rand) int {
+	// Constructing and using a private, explicitly seeded generator is
+	// exactly what sim.RNG streams do.
+	s := rand.New(rand.NewSource(42))
+	return s.Intn(10) + r.Intn(10)
+}

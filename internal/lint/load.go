@@ -1,0 +1,251 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadConfig parameterizes Load.
+type LoadConfig struct {
+	// Dir is the directory patterns are resolved against; "" means the
+	// current directory. The enclosing module root (the nearest parent
+	// with a go.mod) supplies the import-path prefix.
+	Dir string
+	// Tests includes *_test.go files declared in the package under test
+	// (external _test packages are never loaded: fixtures and assertions
+	// do not feed simulation state).
+	Tests bool
+}
+
+// Load parses and type-checks the packages matched by the patterns.
+// A pattern is a directory, or a directory followed by "/..." to include
+// every package below it ("./..." covers the whole tree). Directories
+// named "testdata" or starting with "." or "_" are skipped during
+// expansion, following the go tool's convention — analyzer fixtures
+// contain deliberate violations.
+//
+// Type-checking uses the standard library's source importer, so Load
+// needs no pre-built export data and no dependency outside std; it does
+// require running inside a module (import paths of dependencies are
+// resolved through the go command).
+func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
+	dir := cfg.Dir
+	if dir == "" {
+		dir = "."
+	}
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modRoot, modPath, err := findModule(absDir)
+	if err != nil {
+		return nil, err
+	}
+
+	dirs, err := expandPatterns(absDir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	var pkgs []*Package
+	for _, d := range dirs {
+		rel, err := filepath.Rel(modRoot, d)
+		if err != nil {
+			return nil, err
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := loadPackage(fset, imp, d, importPath, cfg.Tests)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the single package in dir under the
+// given import-path label, with its own file set and importer. It is the
+// entry point used by the analysistest harness to load fixtures.
+func LoadDir(dir, importPath string) (*Package, error) {
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	pkg, err := loadPackage(fset, imp, dir, importPath, false)
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	return pkg, nil
+}
+
+// loadPackage parses dir's Go files and type-checks them. It returns
+// (nil, nil) when the directory holds no eligible files.
+func loadPackage(fset *token.FileSet, imp types.Importer, dir, importPath string, tests bool) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_") {
+			continue
+		}
+		if !tests && strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var files []*ast.File
+	pkgName := ""
+	for _, n := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		name := f.Name.Name
+		if strings.HasSuffix(name, "_test") {
+			// External test package: skip (see LoadConfig.Tests).
+			continue
+		}
+		if pkgName == "" {
+			pkgName = name
+		} else if name != pkgName {
+			return nil, fmt.Errorf("lint: %s: mixed packages %q and %q", dir, pkgName, name)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, err)
+	}
+	return &Package{
+		Path:  importPath,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// expandPatterns resolves the pattern list to a sorted, deduplicated set
+// of package directories.
+func expandPatterns(base string, patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, p := range patterns {
+		recursive := false
+		if p == "..." {
+			p, recursive = ".", true
+		} else if strings.HasSuffix(p, "/...") {
+			p, recursive = strings.TrimSuffix(p, "/..."), true
+		}
+		root := p
+		if !filepath.IsAbs(root) {
+			root = filepath.Join(base, root)
+		}
+		st, err := os.Stat(root)
+		if err != nil {
+			return nil, fmt.Errorf("lint: bad pattern %q: %w", p, err)
+		}
+		if !st.IsDir() {
+			return nil, fmt.Errorf("lint: pattern %q is not a directory", p)
+		}
+		if !recursive {
+			add(filepath.Clean(root))
+			continue
+		}
+		err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(filepath.Clean(path))
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// findModule walks up from dir to the nearest go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (root, path string, err error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}

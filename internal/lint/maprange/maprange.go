@@ -1,0 +1,57 @@
+// Package maprange flags `for ... range` over map values inside
+// simulation packages. Go randomizes map iteration order on every range
+// statement, so any protocol decision, packet emission, or event
+// scheduling that depends on the visit order differs from run to run
+// even under the same seed — the exact hazard that made the repair,
+// forward, and AODV paths nondeterministic before this suite existed.
+//
+// Iterate a sorted key slice instead, or — when the loop body is
+// provably order-insensitive (a pure deletion sweep, an existential
+// scan, an argmax under a strict total order, output sorted before
+// use) — annotate the statement:
+//
+//	for k := range m { //simlint:ordered deletion-only sweep
+package maprange
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ecgrid/internal/lint"
+)
+
+// Analyzer is the maprange check.
+var Analyzer = &lint.Analyzer{
+	Name: "maprange",
+	Doc:  "flags range over maps in simulation packages; iteration order is randomized per process",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	if !lint.InScope(pass.Pkg.Path, lint.SimPackages) {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Pkg.Info.Types[rs.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if pass.Suppressed(rs, "ordered") {
+				return true
+			}
+			pass.Reportf(rs.Pos(),
+				"range over map %s: iteration order is randomized per process; iterate sorted keys or annotate //simlint:ordered with a justification",
+				types.ExprString(rs.X))
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package maprange_test
+
+import (
+	"testing"
+
+	"ecgrid/internal/lint/analysistest"
+	"ecgrid/internal/lint/maprange"
+)
+
+func TestMapRange(t *testing.T) {
+	analysistest.Run(t, "testdata", maprange.Analyzer,
+		"ecgrid/internal/core/mrfix",    // in scope: hits and suppressions
+		"ecgrid/internal/batch/mrclean", // out of scope: no diagnostics
+	)
+}

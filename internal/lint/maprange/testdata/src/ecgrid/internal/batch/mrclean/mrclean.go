@@ -1,0 +1,11 @@
+// Package mrclean lives outside the simulation scope: map ranges here
+// never reach simulation state and must not be flagged.
+package mrclean
+
+func Sum(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,58 @@
+// Package mrfix exercises maprange inside a simulation-scoped package
+// path: plain hits, annotated suppressions, and clean non-map ranges.
+package mrfix
+
+import "sort"
+
+func hits(m map[string]int, nested map[int]map[string]bool) int {
+	sum := 0
+	for _, v := range m { // want `range over map m: iteration order is randomized`
+		sum += v
+	}
+	for _, inner := range nested { // want `range over map nested`
+		for k := range inner { // want `range over map inner`
+			_ = k
+		}
+	}
+	return sum
+}
+
+type table struct {
+	entries map[string]int
+}
+
+func (t *table) methodHit() {
+	for k := range t.entries { // want `range over map t.entries`
+		delete(t.entries, k)
+	}
+}
+
+func suppressedTrailing(m map[string]int) {
+	for k := range m { //simlint:ordered deletion-only sweep
+		delete(m, k)
+	}
+}
+
+func suppressedAbove(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//simlint:ordered keys are sorted before use below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func clean(xs []int, s string, ch chan int) int {
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	for range s {
+		sum++
+	}
+	for x := range ch {
+		sum += x
+	}
+	return sum
+}

@@ -1,0 +1,21 @@
+// Package lintfix is a framework-test fixture: it carries //simlint:
+// directives in every supported placement plus look-alike comments that
+// must NOT register as directives.
+package lintfix
+
+func Sweep(m map[string]int) {
+	for k := range m { //simlint:ordered deletion-only sweep
+		delete(m, k)
+	}
+	//simlint:ordered annotated on the line above
+	for k := range m {
+		delete(m, k)
+	}
+	// simlint:ordered has a space after the slashes: not a directive
+	for k := range m {
+		delete(m, k)
+	}
+	for k := range m {
+		delete(m, k)
+	}
+}

@@ -1,0 +1,10 @@
+// Package wtclean lives outside the simulation scope: tooling code may
+// read the wall clock (progress reporting, manifest timestamps).
+package wtclean
+
+import "time"
+
+func Stamp() time.Time {
+	time.Sleep(0)
+	return time.Now()
+}

@@ -1,0 +1,25 @@
+// Package wtfix exercises walltime inside a simulation-scoped package
+// path.
+package wtfix
+
+import "time"
+
+func hits() time.Duration {
+	start := time.Now()          // want `time.Now in a simulation package`
+	time.Sleep(time.Millisecond) // want `time.Sleep in a simulation package`
+	elapsed := time.Since(start) // want `time.Since in a simulation package`
+	t := time.NewTimer(elapsed)  // want `time.NewTimer in a simulation package`
+	t.Reset(elapsed)             // method on Timer: not a wall-clock read
+	<-time.After(elapsed)        // want `time.After in a simulation package`
+	return elapsed
+}
+
+func suppressed() time.Time {
+	return time.Now() //simlint:walltime log timestamp for a debug dump, never enters sim state
+}
+
+func clean(d time.Duration) time.Duration {
+	// Types, constants, and conversions from package time are fine;
+	// only wall-clock reads and host timers are banned.
+	return d + 2*time.Second
+}

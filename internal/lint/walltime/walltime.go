@@ -1,0 +1,68 @@
+// Package walltime bans wall-clock and host-timer calls inside
+// simulation packages. Simulated time advances only through the
+// discrete-event engine (sim.Engine.Now / Schedule); a time.Now or
+// time.Sleep in protocol code couples results to host load and makes
+// runs irreproducible. The ban covers reading the clock (Now, Since,
+// Until) and host-time scheduling (Sleep, After, Tick, AfterFunc,
+// NewTimer, NewTicker).
+//
+// Tooling code that genuinely needs host time does not belong in a
+// simulation package; in the rare legitimate case annotate the line:
+//
+//	start := time.Now() //simlint:walltime profiling a debug build
+package walltime
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ecgrid/internal/lint"
+)
+
+// Analyzer is the walltime check.
+var Analyzer = &lint.Analyzer{
+	Name: "walltime",
+	Doc:  "bans time.Now/Since/Sleep and host timers in simulation packages; simulated time comes from the engine",
+	Run:  run,
+}
+
+var banned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func run(pass *lint.Pass) error {
+	if !lint.InScope(pass.Pkg.Path, lint.SimPackages) {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !banned[fn.Name()] {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // a method like Timer.Reset, not package-level
+			}
+			if pass.Suppressed(sel, "walltime") {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s in a simulation package: simulated time must come from the engine (host.Now / Engine.Schedule)",
+				fn.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package walltime_test
+
+import (
+	"testing"
+
+	"ecgrid/internal/lint/analysistest"
+	"ecgrid/internal/lint/walltime"
+)
+
+func TestWallTime(t *testing.T) {
+	analysistest.Run(t, "testdata", walltime.Analyzer,
+		"ecgrid/internal/sim/wtfix",     // in scope: hits and suppressions
+		"ecgrid/internal/batch/wtclean", // out of scope: no diagnostics
+	)
+}

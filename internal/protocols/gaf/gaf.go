@@ -245,7 +245,7 @@ func (p *Protocol) Stopped() {
 	p.stopped = true
 	p.stateTimer.Stop()
 	p.annTimer.Stop()
-	for _, d := range p.disc {
+	for _, d := range p.disc { //simlint:ordered stops every timer; order-insensitive
 		d.timer.Stop()
 	}
 }

@@ -210,7 +210,7 @@ func (p *Protocol) Stopped() {
 	if p.pendingAnn != nil {
 		p.host.Engine().Cancel(p.pendingAnn)
 	}
-	for _, d := range p.disc {
+	for _, d := range p.disc { //simlint:ordered stops every timer; order-insensitive
 		d.timer.Stop()
 	}
 }
@@ -300,7 +300,8 @@ func (p *Protocol) sendHello() {
 func (p *Protocol) freshNeighborIDs() []hostid.ID {
 	now := p.host.Now()
 	ids := make([]hostid.ID, 0, len(p.neighbors))
-	for id, n := range p.neighbors {
+	for id, n := range p.neighbors { //simlint:ordered output is sorted below
+
 		if now-n.seen <= p.opt.NeighborTTL {
 			ids = append(ids, id)
 		}
@@ -317,9 +318,7 @@ func (p *Protocol) handleHello(m *Hello) {
 	}
 	n.coordinator = m.Coordinator
 	n.seen = p.host.Now()
-	for id := range n.neighbors {
-		delete(n.neighbors, id)
-	}
+	clear(n.neighbors)
 	for _, id := range m.Neighbors {
 		n.neighbors[id] = true
 	}
@@ -345,7 +344,7 @@ func (p *Protocol) checkTick() {
 
 func (p *Protocol) pruneNeighbors() {
 	now := p.host.Now()
-	for id, n := range p.neighbors {
+	for id, n := range p.neighbors { //simlint:ordered deletion-only sweep
 		if now-n.seen > p.opt.NeighborTTL {
 			delete(p.neighbors, id)
 		}
@@ -376,6 +375,7 @@ func (p *Protocol) uncoveredPair(skip hostid.ID) bool {
 // coveredByCoordinator reports whether some coordinator (≠ skip) is a
 // mutual neighbor of a and b.
 func (p *Protocol) coveredByCoordinator(a, b, skip hostid.ID) bool {
+	//simlint:ordered existential scan: any witness gives the same answer
 	for cid, c := range p.neighbors {
 		if cid == skip || !c.coordinator {
 			continue

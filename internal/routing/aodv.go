@@ -79,14 +79,19 @@ func (t *AODVTable) Remove(dst hostid.ID) { delete(t.entries, dst) }
 // when a neighbor is detected gone) and returns the affected
 // destinations.
 func (t *AODVTable) RemoveVia(hop hostid.ID) []hostid.ID {
+	dsts := make([]hostid.ID, 0, len(t.entries))
+	//simlint:ordered keys are sorted immediately below
+	for dst := range t.entries {
+		dsts = append(dsts, dst)
+	}
+	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
 	var out []hostid.ID
-	for dst, e := range t.entries {
-		if e.NextHop == hop {
+	for _, dst := range dsts {
+		if t.entries[dst].NextHop == hop {
 			delete(t.entries, dst)
 			out = append(out, dst)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

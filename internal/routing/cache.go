@@ -37,7 +37,8 @@ func (c *DupCache) Seen(src hostid.ID, id uint32, now float64) bool {
 }
 
 func (c *DupCache) prune(now float64) {
-	for k, t := range c.seen {
+	for k, t := range c.seen { //simlint:ordered deletion-only sweep
+
 		if now-t > c.ttl {
 			delete(c.seen, k)
 		}

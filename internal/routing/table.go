@@ -91,7 +91,8 @@ func (t *Table) Len() int { return len(t.entries) }
 // in RETIRE/TRANSFER messages. The returned slice is owned by the caller.
 func (t *Table) Snapshot(now float64) []Entry {
 	out := make([]Entry, 0, len(t.entries))
-	for _, e := range t.entries {
+	for _, e := range t.entries { //simlint:ordered output is sorted by Dst below
+
 		if !t.expired(e, now) {
 			out = append(out, e)
 		}
@@ -203,7 +204,8 @@ func (h *HostTable) Len() int { return len(h.hosts) }
 // Snapshot returns the rows sorted by ID, for table transfer.
 func (h *HostTable) Snapshot() []HostEntry {
 	out := make([]HostEntry, 0, len(h.hosts))
-	for _, e := range h.hosts {
+	for _, e := range h.hosts { //simlint:ordered output is sorted by ID below
+
 		out = append(out, e)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
@@ -222,7 +224,8 @@ func (h *HostTable) Merge(rows []HostEntry) {
 // IDs returns the member IDs sorted ascending.
 func (h *HostTable) IDs() []hostid.ID {
 	out := make([]hostid.ID, 0, len(h.hosts))
-	for id := range h.hosts {
+	for id := range h.hosts { //simlint:ordered output is sorted below
+
 		out = append(out, id)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })

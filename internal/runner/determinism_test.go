@@ -1,0 +1,111 @@
+package runner
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ecgrid/internal/scenario"
+	"ecgrid/internal/trace"
+)
+
+// fingerprint runs cfg once and renders everything the run measured —
+// every counter, every sampled point (as exact hex floats), and the full
+// radio/delivery trace — into one canonical string. Two runs of the same
+// scenario in the same process must produce byte-identical fingerprints;
+// anything less means some decision depended on map hash order, global
+// randomness, or the wall clock.
+func fingerprint(cfg scenario.Config) string {
+	rec := trace.NewRecorder(1 << 18)
+	cfg.Trace = rec
+	res := Run(cfg)
+
+	hex := func(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
+	var b strings.Builder
+	fmt.Fprintf(&b, "cfg=%s\n", cfg.String())
+	fmt.Fprintf(&b, "sent=%d delivered=%d dups=%d deaths=%d\n",
+		res.Sent, res.Delivered, res.Duplicates, res.Deaths)
+	fmt.Fprintf(&b, "rate=%s mean=%s median=%s max=%s\n",
+		hex(res.DeliveryRate), hex(res.MeanLatency), hex(res.MedianLatency), hex(res.MaxLatency))
+	fmt.Fprintf(&b, "firstdeath=%s lastalive=%s\n", hex(res.FirstDeathAt), hex(res.LastAlive))
+	fmt.Fprintf(&b, "radio=%+v\n", res.Radio)
+	for _, p := range res.Alive {
+		fmt.Fprintf(&b, "alive %s %s\n", hex(p.T), hex(p.V))
+	}
+	for _, p := range res.Aen {
+		fmt.Fprintf(&b, "aen %s %s\n", hex(p.T), hex(p.V))
+	}
+	kinds := make([]string, 0, len(res.PerKind))
+	for k := range res.PerKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "kind %s %+v\n", k, res.PerKind[k])
+	}
+	stats := make([]string, 0, len(res.Protocol))
+	for k := range res.Protocol {
+		stats = append(stats, k)
+	}
+	sort.Strings(stats)
+	for _, k := range stats {
+		fmt.Fprintf(&b, "stat %s %d\n", k, res.Protocol[k])
+	}
+	fmt.Fprintf(&b, "trace total=%d\n", rec.Total())
+	if err := trace.Write(&b, rec.Entries()); err != nil {
+		panic(err)
+	}
+	return b.String()
+}
+
+// firstDiff locates the first differing line of two fingerprints, so a
+// failure points at the event where the runs diverged instead of dumping
+// megabytes of trace.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  run1: %s\n  run2: %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d lines", len(al), len(bl))
+}
+
+// TestRunTwiceDeterminism executes the same scenario twice inside one
+// test binary and requires byte-identical metrics and trace output. Map
+// iteration order is re-randomized on every range statement, so an
+// order-sensitive loop in a hot path fails this test directly — even
+// without cmd/simlint in the loop. Run with -count=2 it also catches
+// cross-execution divergence via the per-process map hash seed.
+func TestRunTwiceDeterminism(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  scenario.Config
+	}{
+		{"ecgrid", func() scenario.Config {
+			cfg := scenario.Default(scenario.ECGRID)
+			cfg.Hosts = 50
+			cfg.Duration = 150
+			cfg.Seed = 7
+			return cfg
+		}()},
+		{"span", func() scenario.Config {
+			cfg := scenario.Default(scenario.SPAN)
+			cfg.Hosts = 30
+			cfg.Duration = 80
+			cfg.Seed = 11
+			return cfg
+		}()},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			run1 := fingerprint(c.cfg)
+			run2 := fingerprint(c.cfg)
+			if run1 != run2 {
+				t.Fatalf("same scenario, same process, different outcome — first divergence:\n%s", firstDiff(run1, run2))
+			}
+		})
+	}
+}
