@@ -15,7 +15,9 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
+	"ecgrid/internal/faults"
 	"ecgrid/internal/runner"
 	"ecgrid/internal/scenario"
 	"ecgrid/internal/trace"
@@ -37,6 +39,8 @@ func main() {
 		traceN   = flag.Int("trace", 0, "print the last N on-air events")
 		confPath = flag.String("config", "", "load the scenario from a JSON file (other flags are ignored)")
 		savePath = flag.String("save", "", "write the resulting scenario to a JSON file and exit")
+		faultArg = flag.String("faults", "",
+			"inject faults: a preset ("+strings.Join(faults.PresetNames(), ", ")+") or a plan JSON file")
 	)
 	flag.Parse()
 
@@ -57,6 +61,14 @@ func main() {
 			os.Exit(2)
 		}
 		cfg = loaded
+	}
+	if *faultArg != "" {
+		plan, err := faults.Resolve(*faultArg, cfg.Hosts, cfg.AreaSize, cfg.Duration)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg.Faults = plan
 	}
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -90,6 +102,14 @@ func main() {
 	}
 	fmt.Printf("hosts           deaths=%d first=%s alive-at-end=%.2f\n", r.Deaths, first, r.LastAlive)
 	fmt.Printf("energy          aen(end)=%.3f of initial charge\n", r.Collector.Aen.Last())
+	if cfg.Faults != nil && !cfg.Faults.Empty() {
+		fmt.Printf("faults          gw-crashes=%d reelections=%d reelect-latency=%s repair-time=%s\n",
+			r.GatewayCrashes, r.Reelections,
+			faultSeconds(r.MeanReelectionLatency), faultSeconds(r.MeanRouteRepairTime))
+		fmt.Printf("fault delivery  in-window=%s out-window=%s (jammed=%d pages-dropped=%d)\n",
+			faultRate(r.InFaultDeliveryRate), faultRate(r.OutFaultDeliveryRate),
+			r.Radio.Jammed, r.PagesDropped)
+	}
 
 	if *verbose {
 		fmt.Printf("\nradio           %+v\n", r.Radio)
@@ -111,4 +131,20 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// faultSeconds formats a recovery time, where -1 means "never measured".
+func faultSeconds(v float64) string {
+	if v < 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2fs", v)
+}
+
+// faultRate formats a delivery rate, where -1 means "no such traffic".
+func faultRate(v float64) string {
+	if v < 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.4f", v)
 }

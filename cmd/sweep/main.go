@@ -28,6 +28,7 @@ import (
 	"syscall"
 
 	"ecgrid/internal/batch"
+	"ecgrid/internal/faults"
 	"ecgrid/internal/scenario"
 )
 
@@ -42,6 +43,8 @@ func main() {
 		out       = flag.String("out", "", "append a JSONL manifest of completed runs to this file")
 		resume    = flag.Bool("resume", false, "skip runs already recorded in the -out manifest")
 		retries   = flag.Int("retries", 0, "extra attempts for a failed run")
+		faultArg  = flag.String("faults", "",
+			"inject a fault plan into every run: a preset ("+strings.Join(faults.PresetNames(), ", ")+") or a plan JSON file")
 	)
 	flag.Parse()
 
@@ -89,6 +92,16 @@ func main() {
 			default:
 				fmt.Fprintf(os.Stderr, "unknown param %q\n", *param)
 				os.Exit(2)
+			}
+			if *faultArg != "" {
+				// Resolved per job: presets scale with the job's host
+				// count, area, and duration.
+				plan, err := faults.Resolve(*faultArg, cfg.Hosts, cfg.AreaSize, cfg.Duration)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(2)
+				}
+				cfg.Faults = plan
 			}
 			if err := cfg.Validate(); err != nil {
 				fmt.Fprintln(os.Stderr, err)

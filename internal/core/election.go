@@ -106,6 +106,9 @@ func (p *Protocol) declareGateway(reason string) {
 	p.gwLevelAt = p.host.Level()
 	if !wasGateway {
 		p.Stats.BecameGateway++
+		if p.OnGateway != nil {
+			p.OnGateway(p.myGrid, p.host.Now())
+		}
 	}
 	if p.inheritRoutes != nil {
 		p.table.Merge(p.inheritRoutes, p.host.Now())

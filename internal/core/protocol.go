@@ -57,6 +57,10 @@ type Protocol struct {
 	// host as its final destination.
 	OnDeliver func(pkt *routing.DataPacket)
 
+	// OnGateway, if set, is called whenever this host declares itself
+	// gateway of a grid (recovery metrics: re-election latency).
+	OnGateway func(g grid.Coord, at float64)
+
 	// --- shared state (any role) ---
 	myGrid      grid.Coord // grid this host currently operates in
 	gatewayID   hostid.ID  // believed gateway of myGrid
@@ -141,6 +145,9 @@ func (p *Protocol) IsGateway() bool { return p.role == roleGateway }
 
 // GatewayID returns the believed gateway of the host's grid.
 func (p *Protocol) GatewayID() hostid.ID { return p.gatewayID }
+
+// Grid returns the grid this host currently operates in.
+func (p *Protocol) Grid() grid.Coord { return p.myGrid }
 
 // Table exposes the routing table for tests.
 func (p *Protocol) Table() *routing.Table { return p.table }

@@ -199,6 +199,26 @@ func (b *Battery) SetMode(now float64, mode Mode) {
 	b.mode = mode
 }
 
+// Drain removes joules from the remaining charge at time now, on top of
+// the modal consumption (fault injection: battery shock). The drained
+// energy is accounted to the current mode; draining to zero kills the
+// battery like any other exhaustion. Infinite batteries ignore it.
+func (b *Battery) Drain(now, joules float64) {
+	b.accrue(now)
+	if b.dead || b.IsInfinite() || joules <= 0 {
+		return
+	}
+	if joules >= b.remaining {
+		joules = b.remaining
+	}
+	b.remaining -= joules
+	b.consumedByMode[b.mode] += joules
+	if b.remaining <= 0 {
+		b.remaining = 0
+		b.dead = true
+	}
+}
+
 // Remaining returns the charge left at time now, in joules.
 func (b *Battery) Remaining(now float64) float64 {
 	b.accrue(now)

@@ -1,0 +1,289 @@
+// Package faults implements declarative, deterministic fault injection
+// for the simulator: a Plan schedules typed fault events — node
+// crash/recover, battery shocks, spatial jamming, RAS paging loss, and
+// GPS position error — through the discrete-event engine, so the
+// protocol's robustness machinery (§3's RETIRE on exhaustion and the
+// no-gateway re-election) can be exercised and measured instead of
+// merely unit-tested.
+//
+// Determinism contract: every probabilistic decision draws from
+// dedicated named streams of the run's seeded sim.RNG ("faults.jam",
+// "faults.page"), and GPS noise is a pure hash of (seed, host, epoch) —
+// no wall clock, no global randomness, no map iteration. Two runs of
+// the same scenario with the same plan are byte-identical.
+package faults
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// Region is an axis-aligned rectangle in the simulation plane, in
+// meters, with (0, 0) at the south-west corner.
+type Region struct {
+	MinX float64 `json:"min_x"`
+	MinY float64 `json:"min_y"`
+	MaxX float64 `json:"max_x"`
+	MaxY float64 `json:"max_y"`
+}
+
+// Contains reports whether the point (x, y) lies inside the region
+// (inclusive bounds).
+func (r Region) Contains(x, y float64) bool {
+	return x >= r.MinX && x <= r.MaxX && y >= r.MinY && y <= r.MaxY
+}
+
+// Crash powers a host off at time At: it detaches from the radio channel
+// and the RAS bus, its protocol state is dropped, and — if Downtime is
+// positive — it rejoins cold (fresh protocol, empty tables) after that
+// long. Downtime 0 means the host never recovers.
+type Crash struct {
+	// Host is the index of the energy-limited host to crash.
+	Host int `json:"host"`
+	// AnyGateway, when true, crashes the lowest-index host currently
+	// serving as a gateway at time At instead of the fixed Host index;
+	// Host is the fallback when no host is a gateway (e.g. under AODV).
+	// This is how a plan guarantees it hits a gateway without knowing
+	// the election outcome in advance.
+	AnyGateway bool    `json:"any_gateway,omitempty"`
+	At         float64 `json:"at"`
+	Downtime   float64 `json:"downtime"`
+}
+
+// BatteryShock instantly drains a fraction of the host's full charge
+// (R_brc drops by Fraction), modeling battery damage or a sensing load
+// outside the radio model. A shock that empties the battery kills the
+// host through the normal death path.
+type BatteryShock struct {
+	Host     int     `json:"host"`
+	At       float64 `json:"at"`
+	Fraction float64 `json:"fraction"`
+}
+
+// Jam corrupts frames whose sender or receiver lies inside Region during
+// [From, Until): each such reception is independently dropped with
+// probability DropProb (1 = total blackout). Receivers still pay the
+// reception energy, exactly as with a real collision.
+type Jam struct {
+	Region   Region  `json:"region"`
+	From     float64 `json:"from"`
+	Until    float64 `json:"until"`
+	DropProb float64 `json:"drop_prob"`
+}
+
+// PagingLoss makes the RAS paging channel lossy during [From, Until):
+// each wakeup that would have been delivered is independently missed
+// with probability DropProb.
+type PagingLoss struct {
+	From     float64 `json:"from"`
+	Until    float64 `json:"until"`
+	DropProb float64 `json:"drop_prob"`
+}
+
+// GPSError adds bounded position noise to the hosts' GPS readings during
+// [From, Until): the reported position (which feeds grid membership,
+// distance-to-center election fields, and dwell estimates) is the true
+// position plus an offset uniform in [-MaxMeters, MaxMeters]² that is
+// redrawn every Resample seconds. The radio keeps using true positions —
+// only the protocol's view of geography degrades.
+type GPSError struct {
+	From      float64 `json:"from"`
+	Until     float64 `json:"until"`
+	MaxMeters float64 `json:"max_meters"`
+	// Resample is the seconds between offset redraws; 0 means one fixed
+	// offset per host for the whole window.
+	Resample float64 `json:"resample,omitempty"`
+	// Hosts restricts the error to the given host indices; empty means
+	// every energy-limited host.
+	Hosts []int `json:"hosts,omitempty"`
+}
+
+// Plan is a complete fault schedule for one run. The zero value injects
+// nothing.
+type Plan struct {
+	Crashes    []Crash        `json:"crashes,omitempty"`
+	Shocks     []BatteryShock `json:"shocks,omitempty"`
+	Jams       []Jam          `json:"jams,omitempty"`
+	PagingLoss []PagingLoss   `json:"paging_loss,omitempty"`
+	GPSErrors  []GPSError     `json:"gps_errors,omitempty"`
+}
+
+// Empty reports whether the plan schedules no faults at all.
+func (p *Plan) Empty() bool {
+	return p == nil || len(p.Crashes) == 0 && len(p.Shocks) == 0 &&
+		len(p.Jams) == 0 && len(p.PagingLoss) == 0 && len(p.GPSErrors) == 0
+}
+
+// Validate checks the plan against the scenario it will run in: hosts
+// energy-limited hosts, a square area of side areaSize meters, and
+// duration simulated seconds. It rejects negative times, windows beyond
+// the duration, regions outside the area, probabilities outside [0, 1],
+// out-of-range host indices, and shock fractions outside (0, 1].
+func (p *Plan) Validate(hosts int, areaSize, duration float64) error {
+	if p == nil {
+		return nil
+	}
+	window := func(what string, from, until float64) error {
+		if from < 0 || math.IsNaN(from) {
+			return fmt.Errorf("faults: %s: negative start %g", what, from)
+		}
+		if until <= from {
+			return fmt.Errorf("faults: %s: window [%g, %g) is empty", what, from, until)
+		}
+		if until > duration {
+			return fmt.Errorf("faults: %s: window ends at %g, beyond the %g s duration", what, until, duration)
+		}
+		return nil
+	}
+	hostIdx := func(what string, h int) error {
+		if h < 0 || h >= hosts {
+			return fmt.Errorf("faults: %s: host %d out of range [0, %d)", what, h, hosts)
+		}
+		return nil
+	}
+	prob := func(what string, v float64) error {
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			return fmt.Errorf("faults: %s: probability %g outside [0, 1]", what, v)
+		}
+		return nil
+	}
+	for i, c := range p.Crashes {
+		what := fmt.Sprintf("crash %d", i)
+		if err := hostIdx(what, c.Host); err != nil {
+			return err
+		}
+		if c.At < 0 || c.At > duration || math.IsNaN(c.At) {
+			return fmt.Errorf("faults: %s: time %g outside [0, %g]", what, c.At, duration)
+		}
+		if c.Downtime < 0 || math.IsNaN(c.Downtime) {
+			return fmt.Errorf("faults: %s: negative downtime %g", what, c.Downtime)
+		}
+	}
+	for i, s := range p.Shocks {
+		what := fmt.Sprintf("shock %d", i)
+		if err := hostIdx(what, s.Host); err != nil {
+			return err
+		}
+		if s.At < 0 || s.At > duration || math.IsNaN(s.At) {
+			return fmt.Errorf("faults: %s: time %g outside [0, %g]", what, s.At, duration)
+		}
+		if s.Fraction <= 0 || s.Fraction > 1 || math.IsNaN(s.Fraction) {
+			return fmt.Errorf("faults: %s: fraction %g outside (0, 1]", what, s.Fraction)
+		}
+	}
+	for i, j := range p.Jams {
+		what := fmt.Sprintf("jam %d", i)
+		if err := window(what, j.From, j.Until); err != nil {
+			return err
+		}
+		if err := prob(what, j.DropProb); err != nil {
+			return err
+		}
+		r := j.Region
+		if r.MinX >= r.MaxX || r.MinY >= r.MaxY {
+			return fmt.Errorf("faults: %s: empty region [%g,%g]x[%g,%g]", what, r.MinX, r.MaxX, r.MinY, r.MaxY)
+		}
+		if r.MinX < 0 || r.MinY < 0 || r.MaxX > areaSize || r.MaxY > areaSize {
+			return fmt.Errorf("faults: %s: region [%g,%g]x[%g,%g] outside the %g m area",
+				what, r.MinX, r.MaxX, r.MinY, r.MaxY, areaSize)
+		}
+	}
+	for i, l := range p.PagingLoss {
+		what := fmt.Sprintf("paging loss %d", i)
+		if err := window(what, l.From, l.Until); err != nil {
+			return err
+		}
+		if err := prob(what, l.DropProb); err != nil {
+			return err
+		}
+	}
+	for i, g := range p.GPSErrors {
+		what := fmt.Sprintf("gps error %d", i)
+		if err := window(what, g.From, g.Until); err != nil {
+			return err
+		}
+		if g.MaxMeters <= 0 || math.IsNaN(g.MaxMeters) {
+			return fmt.Errorf("faults: %s: non-positive max error %g", what, g.MaxMeters)
+		}
+		if g.Resample < 0 || math.IsNaN(g.Resample) {
+			return fmt.Errorf("faults: %s: negative resample period %g", what, g.Resample)
+		}
+		for _, h := range g.Hosts {
+			if err := hostIdx(what, h); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Window is a [From, Until) interval of simulated time during which some
+// fault is active.
+type Window struct {
+	From, Until float64
+}
+
+// Windows returns the time intervals during which any fault in the plan
+// is active, for classifying traffic as inside or outside fault windows.
+// Permanent crashes (Downtime 0) extend to the run's duration; shocks
+// are instantaneous and contribute no window.
+func (p *Plan) Windows(duration float64) []Window {
+	if p == nil {
+		return nil
+	}
+	var ws []Window
+	clamp := func(from, until float64) {
+		if until > duration {
+			until = duration
+		}
+		if until > from {
+			ws = append(ws, Window{From: from, Until: until})
+		}
+	}
+	for _, c := range p.Crashes {
+		until := c.At + c.Downtime
+		if c.Downtime <= 0 {
+			until = duration
+		}
+		clamp(c.At, until)
+	}
+	for _, j := range p.Jams {
+		clamp(j.From, j.Until)
+	}
+	for _, l := range p.PagingLoss {
+		clamp(l.From, l.Until)
+	}
+	for _, g := range p.GPSErrors {
+		clamp(g.From, g.Until)
+	}
+	return ws
+}
+
+// Load reads a plan from a JSON file. The plan is syntactically parsed
+// only; call Validate with the scenario's dimensions before running.
+func Load(path string) (*Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("faults: %w", err)
+	}
+	var p Plan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("faults: parse %s: %w", path, err)
+	}
+	return &p, nil
+}
+
+// Save writes the plan to path as indented JSON.
+func (p *Plan) Save(path string) error {
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return fmt.Errorf("faults: marshal: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("faults: %w", err)
+	}
+	return nil
+}

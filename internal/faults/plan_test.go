@@ -1,0 +1,187 @@
+package faults
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// validatePlan runs Validate against a fixed 10-host, 1000 m, 100 s
+// scenario, the frame all rejection cases below are phrased in.
+func validatePlan(p Plan) error { return p.Validate(10, 1000, 100) }
+
+func TestValidateRejectsBadPlans(t *testing.T) {
+	region := Region{MinX: 100, MinY: 100, MaxX: 200, MaxY: 200}
+	cases := []struct {
+		name string
+		plan Plan
+		want string
+	}{
+		{"crash host out of range", Plan{Crashes: []Crash{{Host: 10, At: 5}}}, "out of range"},
+		{"crash negative host", Plan{Crashes: []Crash{{Host: -1, At: 5}}}, "out of range"},
+		{"crash beyond duration", Plan{Crashes: []Crash{{Host: 0, At: 101}}}, "outside [0, 100]"},
+		{"crash negative time", Plan{Crashes: []Crash{{Host: 0, At: -1}}}, "outside [0, 100]"},
+		{"crash negative downtime", Plan{Crashes: []Crash{{Host: 0, At: 5, Downtime: -1}}}, "negative downtime"},
+		{"shock zero fraction", Plan{Shocks: []BatteryShock{{Host: 0, At: 5}}}, "fraction"},
+		{"shock fraction above one", Plan{Shocks: []BatteryShock{{Host: 0, At: 5, Fraction: 1.5}}}, "fraction"},
+		{"shock host out of range", Plan{Shocks: []BatteryShock{{Host: 99, At: 5, Fraction: 0.5}}}, "out of range"},
+		{"jam negative start", Plan{Jams: []Jam{{Region: region, From: -1, Until: 10, DropProb: 1}}}, "negative start"},
+		{"jam empty window", Plan{Jams: []Jam{{Region: region, From: 10, Until: 10, DropProb: 1}}}, "empty"},
+		{"jam beyond duration", Plan{Jams: []Jam{{Region: region, From: 10, Until: 200, DropProb: 1}}}, "beyond"},
+		{"jam probability above one", Plan{Jams: []Jam{{Region: region, From: 1, Until: 10, DropProb: 1.1}}}, "probability"},
+		{"jam negative probability", Plan{Jams: []Jam{{Region: region, From: 1, Until: 10, DropProb: -0.1}}}, "probability"},
+		{"jam empty region", Plan{Jams: []Jam{{Region: Region{MinX: 5, MinY: 5, MaxX: 5, MaxY: 9}, From: 1, Until: 10, DropProb: 1}}}, "empty region"},
+		{"jam region outside area", Plan{Jams: []Jam{{Region: Region{MinX: 900, MinY: 900, MaxX: 1100, MaxY: 1100}, From: 1, Until: 10, DropProb: 1}}}, "outside"},
+		{"paging loss bad probability", Plan{PagingLoss: []PagingLoss{{From: 1, Until: 10, DropProb: 2}}}, "probability"},
+		{"paging loss empty window", Plan{PagingLoss: []PagingLoss{{From: 10, Until: 5, DropProb: 0.5}}}, "empty"},
+		{"gps zero error", Plan{GPSErrors: []GPSError{{From: 1, Until: 10}}}, "max error"},
+		{"gps negative resample", Plan{GPSErrors: []GPSError{{From: 1, Until: 10, MaxMeters: 5, Resample: -1}}}, "resample"},
+		{"gps host out of range", Plan{GPSErrors: []GPSError{{From: 1, Until: 10, MaxMeters: 5, Hosts: []int{10}}}}, "out of range"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := validatePlan(c.plan)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("Validate = %v, want error containing %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestValidateAcceptsNilAndZeroPlans(t *testing.T) {
+	var nilPlan *Plan
+	if err := nilPlan.Validate(10, 1000, 100); err != nil {
+		t.Fatalf("nil plan: %v", err)
+	}
+	if err := validatePlan(Plan{}); err != nil {
+		t.Fatalf("zero plan: %v", err)
+	}
+	if !nilPlan.Empty() || !(&Plan{}).Empty() {
+		t.Fatal("nil/zero plan not Empty")
+	}
+	if (&Plan{Crashes: []Crash{{Host: 0, At: 1}}}).Empty() {
+		t.Fatal("plan with a crash is Empty")
+	}
+}
+
+func TestPresetsAreValid(t *testing.T) {
+	for _, name := range PresetNames() {
+		p, err := Preset(name, 50, 1000, 600)
+		if err != nil {
+			t.Fatalf("Preset(%s): %v", name, err)
+		}
+		if p.Empty() {
+			t.Errorf("preset %s is empty", name)
+		}
+		if err := p.Validate(50, 1000, 600); err != nil {
+			t.Errorf("preset %s invalid for its own dimensions: %v", name, err)
+		}
+	}
+	if _, err := Preset("nope", 50, 1000, 600); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestChurnPresetWithFewHosts(t *testing.T) {
+	// Fewer hosts than crash slots must not produce out-of-range indices.
+	p, err := Preset("churn", 2, 1000, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(2, 1000, 600); err != nil {
+		t.Fatalf("churn on 2 hosts invalid: %v", err)
+	}
+}
+
+func TestWindows(t *testing.T) {
+	p := &Plan{
+		Crashes: []Crash{
+			{Host: 0, At: 10, Downtime: 5},
+			{Host: 1, At: 50}, // permanent: extends to the duration
+		},
+		Shocks: []BatteryShock{{Host: 0, At: 40, Fraction: 0.5}}, // instantaneous
+		Jams: []Jam{{
+			Region: Region{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10},
+			From:   20, Until: 30, DropProb: 1,
+		}},
+	}
+	got := p.Windows(100)
+	want := []Window{{From: 10, Until: 15}, {From: 50, Until: 100}, {From: 20, Until: 30}}
+	if len(got) != len(want) {
+		t.Fatalf("Windows = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Windows[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if ws := (*Plan)(nil).Windows(100); ws != nil {
+		t.Fatalf("nil plan windows = %v", ws)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	p, err := Preset("mixed", 50, 1000, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := p.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Crashes) != len(p.Crashes) || len(back.Shocks) != len(p.Shocks) ||
+		len(back.Jams) != len(p.Jams) || len(back.PagingLoss) != len(p.PagingLoss) ||
+		len(back.GPSErrors) != len(p.GPSErrors) {
+		t.Fatalf("round trip lost faults: %+v vs %+v", back, p)
+	}
+	if back.Crashes[0] != p.Crashes[0] || back.Jams[0] != p.Jams[0] {
+		t.Fatalf("round trip changed values: %+v vs %+v", back.Crashes[0], p.Crashes[0])
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestResolve(t *testing.T) {
+	p, err := Resolve("gateway-crash", 50, 1000, 600)
+	if err != nil || len(p.Crashes) != 1 {
+		t.Fatalf("preset resolve: %v, %+v", err, p)
+	}
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := p.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := Resolve(path, 50, 1000, 600)
+	if err != nil || len(fromFile.Crashes) != 1 {
+		t.Fatalf("file resolve: %v, %+v", err, fromFile)
+	}
+	if _, err := Resolve("notapreset", 50, 1000, 600); err == nil ||
+		!strings.Contains(err.Error(), "gateway-crash") {
+		t.Fatalf("bad spec error should name the presets, got: %v", err)
+	}
+}
+
+func TestRegionContains(t *testing.T) {
+	r := Region{MinX: 10, MinY: 20, MaxX: 30, MaxY: 40}
+	for _, c := range []struct {
+		x, y float64
+		in   bool
+	}{
+		{20, 30, true},
+		{10, 20, true}, // inclusive bounds
+		{30, 40, true},
+		{9.9, 30, false},
+		{20, 40.1, false},
+	} {
+		if got := r.Contains(c.x, c.y); got != c.in {
+			t.Errorf("Contains(%g, %g) = %v, want %v", c.x, c.y, got, c.in)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package faults
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Named presets scale to the scenario they run in (its host count, area
+// side, and duration), so one `-faults gateway-crash` works for a 60 s
+// smoke run and a 2000 s figure run alike. Chaos sweeps that need the
+// *identical* schedule across differently-sized runs should use a plan
+// file instead.
+
+// PresetNames lists the available preset plans, in documentation order.
+func PresetNames() []string {
+	return []string{"gateway-crash", "churn", "jam-center", "lossy-ras", "gps-drift", "mixed"}
+}
+
+// Preset builds the named plan for a scenario with the given number of
+// energy-limited hosts, square area side, and duration.
+func Preset(name string, hosts int, areaSize, duration float64) (*Plan, error) {
+	gatewayCrash := Crash{
+		Host:       0,
+		AnyGateway: true,
+		At:         0.25 * duration,
+		Downtime:   0.25 * duration,
+	}
+	jamCenter := Jam{
+		Region:   Region{MinX: 0.3 * areaSize, MinY: 0.3 * areaSize, MaxX: 0.7 * areaSize, MaxY: 0.7 * areaSize},
+		From:     0.3 * duration,
+		Until:    0.6 * duration,
+		DropProb: 1,
+	}
+	lossyRAS := PagingLoss{From: 0.25 * duration, Until: 0.75 * duration, DropProb: 0.5}
+	gpsDrift := GPSError{From: 0.25 * duration, Until: 0.75 * duration, MaxMeters: 0.1 * areaSize, Resample: 20}
+
+	switch name {
+	case "gateway-crash":
+		return &Plan{Crashes: []Crash{gatewayCrash}}, nil
+	case "churn":
+		// Staggered crash/recover of a spread of fixed hosts: dense
+		// membership churn without singling out gateways.
+		n := 4
+		if hosts < n {
+			n = hosts
+		}
+		var crashes []Crash
+		for i := 0; i < n; i++ {
+			crashes = append(crashes, Crash{
+				Host:     (i * hosts) / n,
+				At:       (0.2 + 0.1*float64(i)) * duration,
+				Downtime: 0.15 * duration,
+			})
+		}
+		return &Plan{Crashes: crashes}, nil
+	case "jam-center":
+		return &Plan{Jams: []Jam{jamCenter}}, nil
+	case "lossy-ras":
+		return &Plan{PagingLoss: []PagingLoss{lossyRAS}}, nil
+	case "gps-drift":
+		return &Plan{GPSErrors: []GPSError{gpsDrift}}, nil
+	case "mixed":
+		return &Plan{
+			Crashes:    []Crash{gatewayCrash},
+			Shocks:     []BatteryShock{{Host: hosts / 2, At: 0.4 * duration, Fraction: 0.5}},
+			Jams:       []Jam{jamCenter},
+			PagingLoss: []PagingLoss{lossyRAS},
+			GPSErrors:  []GPSError{gpsDrift},
+		}, nil
+	default:
+		return nil, fmt.Errorf("faults: unknown preset %q (known: %s)", name, strings.Join(PresetNames(), ", "))
+	}
+}
+
+// Resolve turns a -faults flag value into a plan: a known preset name is
+// built for the scenario's dimensions; anything containing a path
+// separator or a dot is loaded as a JSON plan file.
+func Resolve(spec string, hosts int, areaSize, duration float64) (*Plan, error) {
+	for _, n := range PresetNames() {
+		if spec == n {
+			return Preset(spec, hosts, areaSize, duration)
+		}
+	}
+	if strings.ContainsAny(spec, "./\\") {
+		return Load(spec)
+	}
+	return nil, fmt.Errorf("faults: %q is neither a preset (%s) nor a plan file path",
+		spec, strings.Join(PresetNames(), ", "))
+}

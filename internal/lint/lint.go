@@ -180,6 +180,7 @@ var SimPackages = []string{
 	"ecgrid/internal/grid",
 	"ecgrid/internal/node",
 	"ecgrid/internal/protocols",
+	"ecgrid/internal/faults",
 }
 
 // FloatPackages lists the package trees where floating-point ==/!= is

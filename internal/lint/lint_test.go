@@ -52,6 +52,7 @@ func TestInScope(t *testing.T) {
 		{"ecgrid/internal/core", true},
 		{"ecgrid/internal/protocols/gaf", true},
 		{"ecgrid/internal/protocols", true},
+		{"ecgrid/internal/faults", true},
 		{"ecgrid/internal/simulator", false}, // prefix of a tree name, not inside it
 		{"ecgrid/internal/batch", false},
 		{"ecgrid/cmd/sweep", false},

@@ -1,0 +1,38 @@
+// Package mrfaults exercises maprange inside the fault-injection
+// package path, which joined the simulation scope when internal/faults
+// began scheduling events and drawing from seeded RNG streams.
+package mrfaults
+
+import "sort"
+
+type plan struct {
+	crashed map[int]float64
+}
+
+func hit(p *plan) float64 {
+	total := 0.0
+	for _, at := range p.crashed { // want `range over map p.crashed`
+		total += at
+	}
+	return total
+}
+
+func suppressed(p *plan) []int {
+	hosts := make([]int, 0, len(p.crashed))
+	//simlint:ordered hosts are sorted before scheduling
+	for h := range p.crashed {
+		hosts = append(hosts, h)
+	}
+	sort.Ints(hosts)
+	return hosts
+}
+
+func clean(crashes []float64) float64 {
+	last := 0.0
+	for _, at := range crashes {
+		if at > last {
+			last = at
+		}
+	}
+	return last
+}

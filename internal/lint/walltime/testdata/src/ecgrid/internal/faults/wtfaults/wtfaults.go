@@ -1,0 +1,18 @@
+// Package wtfaults exercises walltime inside the fault-injection
+// package path: fault timing must come from the simulation clock, never
+// the host's.
+package wtfaults
+
+import "time"
+
+func hit() time.Time {
+	return time.Now() // want `time.Now in a simulation package`
+}
+
+func suppressed() time.Time {
+	return time.Now() //simlint:walltime stamps a debug trace, never enters sim state
+}
+
+func clean(downtime float64) time.Duration {
+	return time.Duration(downtime * float64(time.Second))
+}

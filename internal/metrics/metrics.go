@@ -5,6 +5,7 @@
 package metrics
 
 import (
+	"ecgrid/internal/grid"
 	"ecgrid/internal/routing"
 	"ecgrid/internal/stats"
 )
@@ -27,6 +28,16 @@ type Collector struct {
 	deaths     int
 	firstDeath float64
 	lastDeath  float64
+
+	// recovery observables (fault injection); see recovery.go
+	faultWindows  []Window
+	sentIn        int // packets emitted during a fault window
+	deliveredIn   int // unique deliveries of packets emitted in a window
+	gwCrashes     int
+	crashPending  map[grid.Coord]float64 // crash time awaiting re-election
+	reelections   []float64              // re-election latencies, seconds
+	repairPending float64                // last unrepaired fault time, or -1
+	repairs       []float64              // route-repair times, seconds
 }
 
 type pktKey struct {
@@ -36,17 +47,22 @@ type pktKey struct {
 // New returns an empty collector.
 func New() *Collector {
 	return &Collector{
-		Alive:      stats.Series{Name: "alive-fraction"},
-		Aen:        stats.Series{Name: "aen"},
-		seen:       make(map[pktKey]bool),
-		firstDeath: -1,
-		lastDeath:  -1,
+		Alive:         stats.Series{Name: "alive-fraction"},
+		Aen:           stats.Series{Name: "aen"},
+		seen:          make(map[pktKey]bool),
+		firstDeath:    -1,
+		lastDeath:     -1,
+		crashPending:  make(map[grid.Coord]float64),
+		repairPending: -1,
 	}
 }
 
 // PacketSent records a source emission.
 func (c *Collector) PacketSent(pkt *routing.DataPacket) {
 	c.sent++
+	if c.inFaultWindow(pkt.SentAt) {
+		c.sentIn++
+	}
 }
 
 // PacketDelivered records a packet reaching its final destination at time
@@ -62,6 +78,13 @@ func (c *Collector) PacketDelivered(pkt *routing.DataPacket, now float64) {
 	c.delivered++
 	c.latency.Add(now - pkt.SentAt)
 	c.latencies = append(c.latencies, now-pkt.SentAt)
+	if c.inFaultWindow(pkt.SentAt) {
+		c.deliveredIn++
+	}
+	if c.repairPending >= 0 {
+		c.repairs = append(c.repairs, now-c.repairPending)
+		c.repairPending = -1
+	}
 }
 
 // LatencyPercentile returns the p-quantile of observed delays, or 0 with

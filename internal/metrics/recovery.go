@@ -1,0 +1,126 @@
+package metrics
+
+import "ecgrid/internal/grid"
+
+// Window is a [From, Until) interval of simulation time during which an
+// injected fault is active. The collector classifies traffic by whether
+// the packet was *emitted* inside such a window: a packet sent mid-fault
+// that arrives after recovery still counts as in-window, because it is
+// the fault's handling — buffering, re-election, repair — that carried it.
+type Window struct {
+	From, Until float64
+}
+
+// SetFaultWindows installs the fault-activity windows used to classify
+// traffic. Call before the run starts; overlapping windows are fine.
+func (c *Collector) SetFaultWindows(ws []Window) { c.faultWindows = ws }
+
+func (c *Collector) inFaultWindow(t float64) bool {
+	for _, w := range c.faultWindows {
+		if t >= w.From && t < w.Until {
+			return true
+		}
+	}
+	return false
+}
+
+// GatewayCrashed records that the gateway of grid g was lost to an
+// injected fault at time at. The next gateway declaration in g closes
+// the interval as one re-election latency. A second crash in the same
+// grid before any re-election keeps the earlier timestamp (the grid has
+// been headless since then).
+func (c *Collector) GatewayCrashed(g grid.Coord, at float64) {
+	c.gwCrashes++
+	if _, pending := c.crashPending[g]; !pending {
+		c.crashPending[g] = at
+	}
+}
+
+// GatewayDeclared records that some host declared itself gateway of grid
+// g at time at. If a crash in g is awaiting re-election this measures the
+// recovery latency; declarations with no pending crash (normal elections)
+// are ignored.
+func (c *Collector) GatewayDeclared(g grid.Coord, at float64) {
+	crashAt, pending := c.crashPending[g]
+	if !pending {
+		return
+	}
+	delete(c.crashPending, g)
+	c.reelections = append(c.reelections, at-crashAt)
+}
+
+// FaultInjected records a disruptive fault event at time at (crash,
+// shock, jam onset, …). The time until the next unique delivery is
+// recorded as a route-repair time: how long the network needed to get a
+// packet through again. Consecutive faults before any delivery keep the
+// earliest timestamp.
+func (c *Collector) FaultInjected(at float64) {
+	if c.repairPending < 0 {
+		c.repairPending = at
+	}
+}
+
+// GatewayCrashes returns the number of gateway losses recorded.
+func (c *Collector) GatewayCrashes() int { return c.gwCrashes }
+
+// ReelectionLatencies returns the measured crash-to-redeclaration
+// latencies, in order of occurrence.
+func (c *Collector) ReelectionLatencies() []float64 { return c.reelections }
+
+// MeanReelectionLatency returns the mean re-election latency, or -1 when
+// no crashed gateway was ever replaced.
+func (c *Collector) MeanReelectionLatency() float64 {
+	if len(c.reelections) == 0 {
+		return -1
+	}
+	sum := 0.0
+	for _, v := range c.reelections {
+		sum += v
+	}
+	return sum / float64(len(c.reelections))
+}
+
+// RouteRepairTimes returns the fault-to-next-delivery intervals.
+func (c *Collector) RouteRepairTimes() []float64 { return c.repairs }
+
+// MeanRouteRepairTime returns the mean route-repair time, or -1 when no
+// delivery ever followed a fault.
+func (c *Collector) MeanRouteRepairTime() float64 {
+	if len(c.repairs) == 0 {
+		return -1
+	}
+	sum := 0.0
+	for _, v := range c.repairs {
+		sum += v
+	}
+	return sum / float64(len(c.repairs))
+}
+
+// SentInWindows returns the number of packets emitted during fault
+// windows; SentOutsideWindows the remainder.
+func (c *Collector) SentInWindows() int      { return c.sentIn }
+func (c *Collector) SentOutsideWindows() int { return c.sent - c.sentIn }
+
+// DeliveredInWindows returns the unique deliveries of packets emitted
+// during fault windows; DeliveredOutsideWindows the remainder.
+func (c *Collector) DeliveredInWindows() int      { return c.deliveredIn }
+func (c *Collector) DeliveredOutsideWindows() int { return c.delivered - c.deliveredIn }
+
+// InWindowDeliveryRate returns delivered/sent restricted to packets
+// emitted during fault windows, or -1 with no such traffic.
+func (c *Collector) InWindowDeliveryRate() float64 {
+	if c.sentIn == 0 {
+		return -1
+	}
+	return float64(c.deliveredIn) / float64(c.sentIn)
+}
+
+// OutWindowDeliveryRate returns delivered/sent restricted to packets
+// emitted outside every fault window, or -1 with no such traffic.
+func (c *Collector) OutWindowDeliveryRate() float64 {
+	out := c.sent - c.sentIn
+	if out == 0 {
+		return -1
+	}
+	return float64(c.delivered-c.deliveredIn) / float64(out)
+}

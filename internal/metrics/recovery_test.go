@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"ecgrid/internal/grid"
+)
+
+func TestFaultWindowClassification(t *testing.T) {
+	c := New()
+	c.SetFaultWindows([]Window{{From: 10, Until: 20}, {From: 30, Until: 40}})
+
+	c.PacketSent(pkt(0, 1, 5))  // outside
+	c.PacketSent(pkt(0, 2, 15)) // in first window
+	c.PacketSent(pkt(0, 3, 35)) // in second window
+	c.PacketSent(pkt(0, 4, 20)) // boundary: Until is exclusive → outside
+
+	c.PacketDelivered(pkt(0, 1, 5), 6)
+	c.PacketDelivered(pkt(0, 2, 15), 16)
+	// packet 3 is lost, packet 4 delivered.
+	c.PacketDelivered(pkt(0, 4, 20), 21)
+
+	if c.SentInWindows() != 2 || c.SentOutsideWindows() != 2 {
+		t.Fatalf("sent in/out = %d/%d, want 2/2", c.SentInWindows(), c.SentOutsideWindows())
+	}
+	if c.DeliveredInWindows() != 1 || c.DeliveredOutsideWindows() != 2 {
+		t.Fatalf("delivered in/out = %d/%d, want 1/2", c.DeliveredInWindows(), c.DeliveredOutsideWindows())
+	}
+	if got := c.InWindowDeliveryRate(); got != 0.5 {
+		t.Fatalf("InWindowDeliveryRate = %g, want 0.5", got)
+	}
+	if got := c.OutWindowDeliveryRate(); got != 1.0 {
+		t.Fatalf("OutWindowDeliveryRate = %g, want 1.0", got)
+	}
+}
+
+func TestWindowRatesUnmeasurableWithoutTraffic(t *testing.T) {
+	c := New()
+	if c.InWindowDeliveryRate() != -1 || c.OutWindowDeliveryRate() != -1 {
+		t.Fatal("rates should be -1 with no traffic")
+	}
+	// Without windows every packet is out-of-window.
+	c.PacketSent(pkt(0, 1, 5))
+	if c.InWindowDeliveryRate() != -1 {
+		t.Fatal("in-window rate should stay -1 without windows")
+	}
+	if c.OutWindowDeliveryRate() != 0 {
+		t.Fatal("out-window rate should be 0 (sent, none delivered)")
+	}
+}
+
+func TestDuplicateDeliveriesDoNotDoubleCountWindows(t *testing.T) {
+	c := New()
+	c.SetFaultWindows([]Window{{From: 0, Until: 100}})
+	c.PacketSent(pkt(0, 1, 5))
+	c.PacketDelivered(pkt(0, 1, 5), 6)
+	c.PacketDelivered(pkt(0, 1, 5), 7) // duplicate
+	if c.DeliveredInWindows() != 1 {
+		t.Fatalf("DeliveredInWindows = %d, want 1", c.DeliveredInWindows())
+	}
+}
+
+func TestReelectionLatencyPairing(t *testing.T) {
+	c := New()
+	g1 := grid.Coord{X: 1, Y: 1}
+	g2 := grid.Coord{X: 2, Y: 2}
+
+	c.GatewayCrashed(g1, 100)
+	c.GatewayDeclared(g2, 101) // different grid: ignored
+	c.GatewayDeclared(g1, 104) // closes the pending crash
+	c.GatewayDeclared(g1, 110) // no pending crash: a normal election, ignored
+
+	if c.GatewayCrashes() != 1 {
+		t.Fatalf("GatewayCrashes = %d", c.GatewayCrashes())
+	}
+	lats := c.ReelectionLatencies()
+	if len(lats) != 1 || lats[0] != 4 {
+		t.Fatalf("latencies = %v, want [4]", lats)
+	}
+	if got := c.MeanReelectionLatency(); got != 4 {
+		t.Fatalf("mean = %g, want 4", got)
+	}
+}
+
+func TestDoubleCrashKeepsEarliestTimestamp(t *testing.T) {
+	c := New()
+	g := grid.Coord{X: 1, Y: 1}
+	c.GatewayCrashed(g, 100)
+	c.GatewayCrashed(g, 105) // grid has been headless since 100
+	c.GatewayDeclared(g, 108)
+	if lats := c.ReelectionLatencies(); len(lats) != 1 || lats[0] != 8 {
+		t.Fatalf("latencies = %v, want [8]", lats)
+	}
+	if c.GatewayCrashes() != 2 {
+		t.Fatalf("GatewayCrashes = %d, want 2", c.GatewayCrashes())
+	}
+}
+
+func TestMeanReelectionUnmeasurable(t *testing.T) {
+	c := New()
+	c.GatewayCrashed(grid.Coord{X: 1, Y: 1}, 100) // never re-elected
+	if got := c.MeanReelectionLatency(); got != -1 {
+		t.Fatalf("mean with no re-election = %g, want -1", got)
+	}
+}
+
+func TestRouteRepairTime(t *testing.T) {
+	c := New()
+	c.FaultInjected(100)
+	c.FaultInjected(105) // still unrepaired: earliest timestamp wins
+	c.PacketSent(pkt(0, 1, 90))
+	c.PacketDelivered(pkt(0, 1, 90), 112)
+	c.PacketDelivered(pkt(0, 2, 90), 150) // repair already closed
+
+	reps := c.RouteRepairTimes()
+	if len(reps) != 1 || reps[0] != 12 {
+		t.Fatalf("repairs = %v, want [12]", reps)
+	}
+	if got := c.MeanRouteRepairTime(); math.Abs(got-12) > 1e-12 {
+		t.Fatalf("mean repair = %g", got)
+	}
+
+	// A second fault opens a new interval.
+	c.FaultInjected(200)
+	c.PacketDelivered(pkt(0, 3, 190), 203)
+	if got := c.MeanRouteRepairTime(); math.Abs(got-7.5) > 1e-12 {
+		t.Fatalf("mean after second repair = %g, want 7.5", got)
+	}
+}
+
+func TestMeanRouteRepairUnmeasurable(t *testing.T) {
+	c := New()
+	if got := c.MeanRouteRepairTime(); got != -1 {
+		t.Fatalf("mean with no faults = %g, want -1", got)
+	}
+	c.FaultInjected(100) // no delivery ever follows
+	if got := c.MeanRouteRepairTime(); got != -1 {
+		t.Fatalf("mean with unrepaired fault = %g, want -1", got)
+	}
+}

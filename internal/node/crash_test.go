@@ -1,0 +1,174 @@
+package node
+
+import (
+	"math"
+	"testing"
+
+	"ecgrid/internal/energy"
+	"ecgrid/internal/grid"
+	"ecgrid/internal/hostid"
+	"ecgrid/internal/radio"
+)
+
+func TestCrashDetachesHost(t *testing.T) {
+	w := newWorld()
+	a, _ := w.host(1, at(100, 100), 500)
+	b, recB := w.host(2, at(150, 150), 500)
+	w.engine.Schedule(0.001, func() { b.Crash() })
+	w.engine.Schedule(0.01, func() {
+		a.Send(&radio.Frame{Kind: "hello", Dst: hostid.Broadcast, Bytes: 64})
+	})
+	w.engine.Run(1)
+	if !b.Crashed() || b.Dead() {
+		t.Fatalf("Crashed=%v Dead=%v, want crashed and not dead", b.Crashed(), b.Dead())
+	}
+	if !recB.stopped {
+		t.Fatal("protocol not stopped on crash")
+	}
+	if len(recB.received) != 0 {
+		t.Fatal("crashed host received a frame")
+	}
+	if b.Battery().Mode() != energy.Sleep {
+		t.Fatalf("crashed battery mode = %v, want sleep", b.Battery().Mode())
+	}
+}
+
+func TestCrashedHostOpsAreNoOps(t *testing.T) {
+	w := newWorld()
+	b, _ := w.host(2, at(150, 150), 500)
+	w.engine.Schedule(0.001, func() {
+		b.Crash()
+		// None of these may panic or take effect.
+		b.Send(&radio.Frame{Kind: "hello", Dst: hostid.Broadcast, Bytes: 64})
+		b.Sleep()
+		b.Page(1)
+		b.PageGrid(grid.Coord{X: 1, Y: 1})
+		b.WakeByTimer()
+		b.Crash() // double crash
+	})
+	w.engine.Run(1)
+	if b.Asleep() {
+		t.Fatal("crashed host went to sleep")
+	}
+	if !b.Crashed() {
+		t.Fatal("host not crashed")
+	}
+}
+
+func TestRecoverRejoinsCold(t *testing.T) {
+	w := newWorld()
+	a, _ := w.host(1, at(100, 100), 500)
+	b, oldRec := w.host(2, at(150, 150), 500)
+	fresh := &recorder{}
+	w.engine.Schedule(0.001, func() { b.Crash() })
+	w.engine.Schedule(0.1, func() {
+		// The caller installs a fresh protocol: a power cycle loses all
+		// volatile state.
+		b.SetProtocol(fresh)
+		b.Recover()
+	})
+	w.engine.Schedule(0.2, func() {
+		a.Send(&radio.Frame{Kind: "hello", Dst: hostid.Broadcast, Bytes: 64})
+	})
+	w.engine.Run(1)
+	if b.Crashed() || b.Dead() {
+		t.Fatalf("Crashed=%v Dead=%v after recovery", b.Crashed(), b.Dead())
+	}
+	if !fresh.started {
+		t.Fatal("fresh protocol not started on recovery")
+	}
+	if len(fresh.received) != 1 {
+		t.Fatalf("recovered host received %d frames, want 1", len(fresh.received))
+	}
+	if len(oldRec.received) != 0 {
+		t.Fatal("pre-crash protocol received post-recovery traffic")
+	}
+	if b.Battery().Mode() != energy.Idle {
+		t.Fatalf("recovered battery mode = %v, want idle", b.Battery().Mode())
+	}
+}
+
+func TestRecoverWithoutCrashIsNoOp(t *testing.T) {
+	w := newWorld()
+	b, _ := w.host(2, at(150, 150), 500)
+	w.engine.Schedule(0.001, func() { b.Recover() })
+	w.engine.Run(0.01) // must not panic or double-attach
+	if b.Crashed() || b.Dead() {
+		t.Fatal("no-op recover changed state")
+	}
+}
+
+func TestRecoverAfterBatteryDeathStaysDown(t *testing.T) {
+	w := newWorld()
+	b, _ := w.host(2, at(150, 150), 500)
+	fresh := &recorder{}
+	died := false
+	b.Died = func(id hostid.ID, atT float64) { died = true }
+	w.engine.Schedule(0.001, func() {
+		b.Crash()
+		b.DrainBattery(1.0) // empties the battery while down
+	})
+	w.engine.Schedule(0.1, func() {
+		b.SetProtocol(fresh)
+		b.Recover()
+	})
+	w.engine.Run(1)
+	if !b.Dead() {
+		t.Fatal("host with an empty battery came back")
+	}
+	if b.Crashed() {
+		t.Fatal("dead host still marked crashed")
+	}
+	if !died {
+		t.Fatal("Died callback not invoked")
+	}
+	if !fresh.stopped {
+		t.Fatal("fresh protocol not stopped by the death")
+	}
+}
+
+func TestDrainBatteryShock(t *testing.T) {
+	w := newWorld()
+	b, rec := w.host(2, at(150, 150), 500)
+	w.engine.Schedule(0.001, func() {
+		b.DrainBattery(0.5)
+		r := b.Battery().Rbrc(w.engine.Now())
+		if math.Abs(r-0.5) > 0.01 {
+			t.Errorf("Rbrc after 0.5 shock = %g", r)
+		}
+	})
+	w.engine.Run(0.01)
+	if b.Dead() {
+		t.Fatal("half shock killed the host")
+	}
+	w.engine.Schedule(0, func() { b.DrainBattery(1.0) })
+	w.engine.Run(0.1)
+	if !b.Dead() {
+		t.Fatal("full drain did not kill the host through the death path")
+	}
+	if !rec.stopped {
+		t.Fatal("protocol not stopped on shock death")
+	}
+}
+
+func TestGPSNoiseShiftsReportedPositionOnly(t *testing.T) {
+	w := newWorld()
+	// True position (95, 150) is in cell (0, 1), 45 m east of nothing —
+	// 10 m of eastward noise pushes the reading into cell (1, 1).
+	b, _ := w.host(2, at(95, 150), 500)
+	b.SetGPSNoise(func(tm float64) (dx, dy float64) { return 10, 0 })
+	if got := b.Position(); got.X != 95 {
+		t.Fatalf("true position perturbed: %v", got)
+	}
+	if got := b.GPS(); got.X != 105 {
+		t.Fatalf("GPS reading = %v, want x=105", got)
+	}
+	if got := b.Cell(); got != (grid.Coord{X: 1, Y: 1}) {
+		// Cell is derived from the GPS reading, not the true position.
+		t.Fatalf("Cell = %v, want (1,1)", got)
+	}
+	b.SetGPSNoise(nil)
+	if got := b.GPS(); got.X != 95 {
+		t.Fatalf("GPS after noise removal = %v, want x=95", got)
+	}
+}

@@ -81,8 +81,13 @@ type Host struct {
 	battery   *energy.Battery
 	protocol  Protocol
 
-	asleep bool
-	dead   bool
+	asleep  bool
+	dead    bool
+	crashed bool
+
+	// gpsNoise, when non-nil, perturbs the position the host's GPS
+	// reports (fault injection). The radio keeps using the true position.
+	gpsNoise func(t float64) (dx, dy float64)
 
 	cellEv   *sim.Event // pending cell-change event
 	deathEv  *sim.Event // pending death-check event
@@ -126,21 +131,28 @@ func New(cfg Config) *Host {
 	}
 	h.lastCell = h.Cell()
 	h.channel.Attach(h)
-	if h.bus != nil {
-		h.bus.Attach(h.id, &ras.Switch{
-			Position: h.Position,
-			Asleep:   func() bool { return h.asleep && !h.dead },
-			Wake: func(reason ras.WakeReason) {
-				switch reason {
-				case ras.PagedDirectly:
-					h.wake(WakePage)
-				case ras.PagedGrid:
-					h.wake(WakeGridPage)
-				}
-			},
-		})
-	}
+	h.attachSwitch()
 	return h
+}
+
+// attachSwitch registers the host's RAS switch on the paging bus. Used
+// at construction and again when recovering from an injected crash.
+func (h *Host) attachSwitch() {
+	if h.bus == nil {
+		return
+	}
+	h.bus.Attach(h.id, &ras.Switch{
+		Position: h.Position,
+		Asleep:   func() bool { return h.asleep && !h.dead && !h.crashed },
+		Wake: func(reason ras.WakeReason) {
+			switch reason {
+			case ras.PagedDirectly:
+				h.wake(WakePage)
+			case ras.PagedGrid:
+				h.wake(WakeGridPage)
+			}
+		},
+	})
 }
 
 // SetProtocol attaches the protocol. Must be called before Start.
@@ -174,16 +186,38 @@ func (h *Host) RNG() *sim.RNG { return h.rng }
 // Partition returns the grid partition.
 func (h *Host) Partition() *grid.Partition { return h.partition }
 
-// Position returns the host's current location (the GPS reading).
+// Position returns the host's true current location. The radio channel
+// and the RAS bus range checks use it.
 func (h *Host) Position() geom.Point { return h.mob.Position(h.engine.Now()) }
 
-// Cell returns the grid cell the host is currently in.
-func (h *Host) Cell() grid.Coord { return h.partition.CellOf(h.Position()) }
+// GPS returns the position the host's positioning device reports: the
+// true position plus any injected noise. Everything the protocol derives
+// from geography — grid membership, distance to the cell center — reads
+// the GPS, so a GPS-error fault degrades routing decisions without
+// bending physics.
+func (h *Host) GPS() geom.Point {
+	p := h.mob.Position(h.engine.Now())
+	if h.gpsNoise != nil {
+		dx, dy := h.gpsNoise(h.engine.Now())
+		p.X += dx
+		p.Y += dy
+	}
+	return p
+}
 
-// DistToCellCenter returns the distance from the host to the physical
-// center of its current cell (the HELLO "dist" field).
+// SetGPSNoise installs (or, with nil, removes) a position-noise function
+// applied to every GPS reading (fault injection).
+func (h *Host) SetGPSNoise(fn func(t float64) (dx, dy float64)) { h.gpsNoise = fn }
+
+// Cell returns the grid cell the host believes it is in (GPS reading;
+// out-of-area readings clamp to the nearest cell).
+func (h *Host) Cell() grid.Coord { return h.partition.CellOf(h.GPS()) }
+
+// DistToCellCenter returns the distance from the host's reported
+// position to the physical center of its current cell (the HELLO "dist"
+// field).
 func (h *Host) DistToCellCenter() float64 {
-	return h.Position().Dist(h.partition.Center(h.Cell()))
+	return h.GPS().Dist(h.partition.Center(h.Cell()))
 }
 
 // Battery returns the host battery.
@@ -201,6 +235,10 @@ func (h *Host) EstimateDwell(maxDwell float64) float64 {
 // Dead reports whether the host's battery is exhausted.
 func (h *Host) Dead() bool { return h.dead }
 
+// Crashed reports whether the host is powered off by an injected crash
+// fault (recoverable, unlike battery death).
+func (h *Host) Crashed() bool { return h.crashed }
+
 // Asleep reports whether the host is in sleep mode.
 func (h *Host) Asleep() bool { return h.asleep }
 
@@ -208,7 +246,7 @@ func (h *Host) Asleep() bool { return h.asleep }
 
 // Send transmits a frame. The host must be awake and alive.
 func (h *Host) Send(f *radio.Frame) {
-	if h.dead {
+	if h.dead || h.crashed {
 		return
 	}
 	if h.asleep {
@@ -219,7 +257,7 @@ func (h *Host) Send(f *radio.Frame) {
 
 // Deliver implements radio.Endpoint: frames go to the protocol.
 func (h *Host) Deliver(f *radio.Frame) {
-	if h.dead {
+	if h.dead || h.crashed {
 		return
 	}
 	h.protocol.Receive(f)
@@ -233,7 +271,7 @@ type FailureAware interface {
 
 // TxFailed implements radio.TxFeedback by forwarding to the protocol.
 func (h *Host) TxFailed(f *radio.Frame) {
-	if h.dead {
+	if h.dead || h.crashed {
 		return
 	}
 	if fa, ok := h.protocol.(FailureAware); ok {
@@ -245,7 +283,7 @@ func (h *Host) TxFailed(f *radio.Frame) {
 
 // Page sends the paging sequence of target from this host's position.
 func (h *Host) Page(target hostid.ID) {
-	if h.bus == nil || h.dead {
+	if h.bus == nil || h.dead || h.crashed {
 		return
 	}
 	h.bus.Page(h.Position(), target)
@@ -254,7 +292,7 @@ func (h *Host) Page(target hostid.ID) {
 // PageGrid sends the broadcast sequence of cell c from this host's
 // position.
 func (h *Host) PageGrid(c grid.Coord) {
-	if h.bus == nil || h.dead {
+	if h.bus == nil || h.dead || h.crashed {
 		return
 	}
 	h.bus.PageGrid(h.Position(), c)
@@ -266,7 +304,7 @@ func (h *Host) PageGrid(c grid.Coord) {
 // scheduling its own wake timer. Sleeping while dead or already asleep is
 // a no-op.
 func (h *Host) Sleep() {
-	if h.dead || h.asleep {
+	if h.dead || h.crashed || h.asleep {
 		return
 	}
 	h.asleep = true
@@ -281,7 +319,7 @@ func (h *Host) Sleep() {
 func (h *Host) WakeByTimer() { h.wake(WakeSelf) }
 
 func (h *Host) wake(cause WakeCause) {
-	if h.dead || !h.asleep {
+	if h.dead || h.crashed || !h.asleep {
 		return
 	}
 	h.asleep = false
@@ -379,4 +417,70 @@ func (h *Host) die() {
 	if h.Died != nil {
 		h.Died(h.id, h.engine.Now())
 	}
+}
+
+// --- fault injection --------------------------------------------------------
+
+// Crash powers the host off abruptly (fault injection): it detaches from
+// the channel and the paging bus, drops in-flight receptions, and stops
+// the protocol, exactly like battery death — except the host can come
+// back via Recover. While crashed the battery drains at the sleep rate
+// (the transceiver is off). Crashing a dead or already-crashed host is a
+// no-op.
+func (h *Host) Crash() {
+	if h.dead || h.crashed {
+		return
+	}
+	h.crashed = true
+	h.asleep = false
+	h.cancelCellChange()
+	if h.deathEv != nil {
+		h.engine.Cancel(h.deathEv)
+		h.deathEv = nil
+	}
+	h.channel.Detach(h.id)
+	if h.bus != nil {
+		h.bus.Detach(h.id)
+	}
+	h.battery.SetMode(h.engine.Now(), energy.Sleep)
+	h.protocol.Stopped()
+}
+
+// Recover brings a crashed host back: it re-attaches to the channel and
+// the paging bus and starts the protocol from scratch — all volatile
+// protocol state was lost in the crash, so the caller must install a
+// fresh protocol instance (SetProtocol) before calling Recover. A host
+// whose battery died while crashed stays down.
+func (h *Host) Recover() {
+	if h.dead || !h.crashed {
+		return
+	}
+	if h.battery.Dead(h.engine.Now()) {
+		h.crashed = false
+		h.die()
+		return
+	}
+	h.crashed = false
+	h.asleep = false
+	h.battery.SetMode(h.engine.Now(), energy.Idle)
+	h.channel.Attach(h)
+	h.attachSwitch()
+	h.lastCell = h.Cell()
+	h.scheduleDeathCheck()
+	h.scheduleCellChange()
+	h.protocol.Start()
+}
+
+// DrainBattery removes the given fraction of the battery's full capacity
+// instantly (fault injection: battery shock). Draining to zero triggers
+// the normal death path at the next death check.
+func (h *Host) DrainBattery(fraction float64) {
+	if h.dead || h.battery.IsInfinite() {
+		return
+	}
+	h.battery.Drain(h.engine.Now(), fraction*h.battery.Full())
+	if h.crashed {
+		return // death check resumes on recovery
+	}
+	h.scheduleDeathCheck()
 }

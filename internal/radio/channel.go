@@ -90,6 +90,15 @@ type Channel struct {
 	// Sniffer, when non-nil, observes every transmission start. Tests
 	// and the trace layer use it.
 	Sniffer func(f *Frame, at float64)
+
+	// Interceptor, when non-nil, vets every potential reception at
+	// transmission start: it is called once per in-range listening
+	// receiver with the frame and the sender and receiver positions, and
+	// returning false corrupts the frame at that receiver (fault
+	// injection: jamming). The receiver still pays the reception energy,
+	// exactly as with a real collision; corrupted unicasts go through the
+	// normal MAC retry/failure path.
+	Interceptor func(f *Frame, from, to geom.Point) bool
 }
 
 // NewChannel creates a medium with the given parameters.
@@ -298,10 +307,15 @@ func (c *Channel) startTransmission(st *station, q *queued, pos geom.Point) {
 		if other == st || !other.listening || other.detached {
 			continue
 		}
-		if pos.Dist2(other.ep.Position()) > r2 {
+		otherPos := other.ep.Position()
+		if pos.Dist2(otherPos) > r2 {
 			continue
 		}
 		rx := &reception{tx: tx, st: other}
+		if c.Interceptor != nil && !c.Interceptor(tx.frame, pos, otherPos) {
+			rx.corrupted = true
+			c.counters.Jammed++
+		}
 		if c.cfg.CollisionsEnabled {
 			if other.transmitting != nil {
 				// Half-duplex: a transmitting host cannot receive.

@@ -53,4 +53,5 @@ type Counters struct {
 	UnicastFailed  uint64 // unicast frames dropped after all retries
 	BytesOnAir     uint64 // total bytes transmitted
 	DeferredAccess uint64 // times carrier sense found the medium busy
+	Jammed         uint64 // receptions killed by an injected jamming fault
 }

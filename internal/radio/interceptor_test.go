@@ -1,0 +1,81 @@
+package radio
+
+import (
+	"testing"
+
+	"ecgrid/internal/energy"
+	"ecgrid/internal/geom"
+	"ecgrid/internal/hostid"
+)
+
+func TestInterceptorCorruptsVetoedReceptions(t *testing.T) {
+	r := newRig(DefaultConfig())
+	r.addHost(0, 0, 0)
+	b := r.addHost(1, 100, 0)
+	r.channel.Interceptor = func(f *Frame, from, to geom.Point) bool { return false }
+	r.engine.Schedule(0.001, func() {
+		r.channel.Send(0, &Frame{Kind: "hello", Dst: hostid.Broadcast, Bytes: 64})
+	})
+	r.engine.Run(1)
+	if len(b.received) != 0 {
+		t.Fatal("vetoed frame was delivered")
+	}
+	c := r.channel.Counters()
+	if c.Jammed != 1 {
+		t.Fatalf("Jammed = %d, want 1", c.Jammed)
+	}
+	if c.Deliveries != 0 {
+		t.Fatalf("Deliveries = %d, want 0", c.Deliveries)
+	}
+}
+
+func TestInterceptorIsPositional(t *testing.T) {
+	// Veto only receptions whose receiver sits west of x=150: the near
+	// host is jammed, the far (but in-range) host still receives.
+	r := newRig(DefaultConfig())
+	r.addHost(0, 0, 0)
+	near := r.addHost(1, 100, 0)
+	far := r.addHost(2, 200, 0)
+	r.channel.Interceptor = func(f *Frame, from, to geom.Point) bool { return to.X >= 150 }
+	r.engine.Schedule(0.001, func() {
+		r.channel.Send(0, &Frame{Kind: "hello", Dst: hostid.Broadcast, Bytes: 64})
+	})
+	r.engine.Run(1)
+	if len(near.received) != 0 {
+		t.Fatal("jammed receiver got the frame")
+	}
+	if len(far.received) != 1 {
+		t.Fatal("clear receiver missed the frame")
+	}
+}
+
+func TestInterceptorJammedReceiverStillPaysEnergy(t *testing.T) {
+	r := newRig(DefaultConfig())
+	r.addHost(0, 0, 0)
+	b := r.addHost(1, 100, 0)
+	r.channel.Interceptor = func(f *Frame, from, to geom.Point) bool { return false }
+	r.engine.Schedule(0.001, func() {
+		r.channel.Send(0, &Frame{Kind: "data", Dst: 1, Bytes: 512})
+	})
+	r.engine.Run(0.05)
+	now := r.engine.Now()
+	if got := b.battery.ConsumedIn(now, energy.Receive); got <= 0 {
+		t.Fatalf("jammed receiver consumed %g J in receive mode, want > 0", got)
+	}
+}
+
+func TestNilInterceptorDeliversNormally(t *testing.T) {
+	r := newRig(DefaultConfig())
+	r.addHost(0, 0, 0)
+	b := r.addHost(1, 100, 0)
+	r.engine.Schedule(0.001, func() {
+		r.channel.Send(0, &Frame{Kind: "hello", Dst: hostid.Broadcast, Bytes: 64})
+	})
+	r.engine.Run(1)
+	if len(b.received) != 1 {
+		t.Fatal("frame lost without an interceptor")
+	}
+	if r.channel.Counters().Jammed != 0 {
+		t.Fatal("Jammed counted without an interceptor")
+	}
+}

@@ -1,0 +1,89 @@
+package ras
+
+import (
+	"testing"
+
+	"ecgrid/internal/geom"
+	"ecgrid/internal/grid"
+	"ecgrid/internal/hostid"
+	"ecgrid/internal/sim"
+)
+
+func TestDropHookSuppressesPage(t *testing.T) {
+	e := sim.NewEngine()
+	b := newBus(e)
+	f := &fakeSwitch{pos: geom.Point{X: 100, Y: 100}, asleep: true}
+	f.register(b, 1)
+	consulted := 0
+	b.DropHook = func(target hostid.ID) bool {
+		consulted++
+		if target != 1 {
+			t.Errorf("hook target = %v, want 1", target)
+		}
+		return true
+	}
+	b.Page(geom.Point{X: 50, Y: 50}, 1)
+	e.Run(1)
+	if len(f.wakes) != 0 {
+		t.Fatal("dropped page still woke the host")
+	}
+	if consulted != 1 {
+		t.Fatalf("hook consulted %d times, want 1", consulted)
+	}
+	if b.PagesDropped != 1 {
+		t.Fatalf("PagesDropped = %d, want 1", b.PagesDropped)
+	}
+}
+
+func TestDropHookFalseStillWakes(t *testing.T) {
+	e := sim.NewEngine()
+	b := newBus(e)
+	f := &fakeSwitch{pos: geom.Point{X: 100, Y: 100}, asleep: true}
+	f.register(b, 1)
+	b.DropHook = func(hostid.ID) bool { return false }
+	b.Page(geom.Point{X: 50, Y: 50}, 1)
+	e.Run(1)
+	if len(f.wakes) != 1 {
+		t.Fatal("non-dropping hook suppressed the wake")
+	}
+	if b.PagesDropped != 0 {
+		t.Fatalf("PagesDropped = %d, want 0", b.PagesDropped)
+	}
+}
+
+func TestDropHookNotConsultedForAwakeOrOutOfRange(t *testing.T) {
+	e := sim.NewEngine()
+	b := newBus(e)
+	awake := &fakeSwitch{pos: geom.Point{X: 100, Y: 100}, asleep: false}
+	awake.register(b, 1)
+	farAway := &fakeSwitch{pos: geom.Point{X: 900, Y: 900}, asleep: true}
+	farAway.register(b, 2)
+	b.DropHook = func(hostid.ID) bool {
+		t.Error("hook consulted for a wakeup that would not be delivered")
+		return true
+	}
+	b.Page(geom.Point{X: 50, Y: 50}, 1)
+	b.Page(geom.Point{X: 50, Y: 50}, 2)
+	e.Run(1)
+}
+
+func TestDropHookOnGridPageIsPerHost(t *testing.T) {
+	e := sim.NewEngine()
+	b := newBus(e)
+	lost := &fakeSwitch{pos: geom.Point{X: 150, Y: 150}, asleep: true}
+	woken := &fakeSwitch{pos: geom.Point{X: 180, Y: 180}, asleep: true}
+	lost.register(b, 1)
+	woken.register(b, 2)
+	b.DropHook = func(target hostid.ID) bool { return target == 1 }
+	b.PageGrid(geom.Point{X: 150, Y: 150}, grid.Coord{X: 1, Y: 1})
+	e.Run(1)
+	if len(lost.wakes) != 0 {
+		t.Fatal("dropped grid page still woke host 1")
+	}
+	if len(woken.wakes) != 1 {
+		t.Fatal("host 2's grid page was also dropped")
+	}
+	if b.PagesDropped != 1 {
+		t.Fatalf("PagesDropped = %d, want 1", b.PagesDropped)
+	}
+}

@@ -82,6 +82,14 @@ type Bus struct {
 	PagesSent uint64
 	// GridPagesSent counts broadcast-sequence transmissions.
 	GridPagesSent uint64
+	// PagesDropped counts wakeups suppressed by DropHook.
+	PagesDropped uint64
+
+	// DropHook, when non-nil, is consulted once for each wakeup the bus
+	// would otherwise deliver (the target is in range and asleep);
+	// returning true suppresses that wakeup (fault injection: paging
+	// loss). Dropped wakeups are counted in PagesDropped.
+	DropHook func(target hostid.ID) bool
 }
 
 // DefaultLatency is the paging delay: the time for the RAS to receive a
@@ -133,6 +141,10 @@ func (b *Bus) Page(from geom.Point, target hostid.ID) {
 			return
 		}
 		if sw.Asleep() {
+			if b.DropHook != nil && b.DropHook(target) {
+				b.PagesDropped++
+				return
+			}
 			sw.Wake(PagedDirectly)
 		}
 	})
@@ -160,6 +172,10 @@ func (b *Bus) PageGrid(from geom.Point, c grid.Coord) {
 				continue
 			}
 			if sw.Asleep() {
+				if b.DropHook != nil && b.DropHook(id) {
+					b.PagesDropped++
+					continue
+				}
 				sw.Wake(PagedGrid)
 			}
 		}

@@ -7,9 +7,18 @@ import (
 	"strings"
 	"testing"
 
+	"ecgrid/internal/faults"
 	"ecgrid/internal/scenario"
 	"ecgrid/internal/trace"
 )
+
+func mustPreset(name string, hosts int, areaSize, duration float64) *faults.Plan {
+	p, err := faults.Preset(name, hosts, areaSize, duration)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
 
 // fingerprint runs cfg once and renders everything the run measured —
 // every counter, every sampled point (as exact hex floats), and the full
@@ -30,6 +39,10 @@ func fingerprint(cfg scenario.Config) string {
 	fmt.Fprintf(&b, "rate=%s mean=%s median=%s max=%s\n",
 		hex(res.DeliveryRate), hex(res.MeanLatency), hex(res.MedianLatency), hex(res.MaxLatency))
 	fmt.Fprintf(&b, "firstdeath=%s lastalive=%s\n", hex(res.FirstDeathAt), hex(res.LastAlive))
+	fmt.Fprintf(&b, "faults gwcrash=%d reelect=%d mreelect=%s mrepair=%s in=%s out=%s pagesdropped=%d\n",
+		res.GatewayCrashes, res.Reelections,
+		hex(res.MeanReelectionLatency), hex(res.MeanRouteRepairTime),
+		hex(res.InFaultDeliveryRate), hex(res.OutFaultDeliveryRate), res.PagesDropped)
 	fmt.Fprintf(&b, "radio=%+v\n", res.Radio)
 	for _, p := range res.Alive {
 		fmt.Fprintf(&b, "alive %s %s\n", hex(p.T), hex(p.V))
@@ -96,6 +109,25 @@ func TestRunTwiceDeterminism(t *testing.T) {
 			cfg.Hosts = 30
 			cfg.Duration = 80
 			cfg.Seed = 11
+			return cfg
+		}()},
+		// Faulted runs exercise every injection path — crash/recover,
+		// battery shock, jamming, paging loss, GPS noise — under the same
+		// byte-identical requirement.
+		{"ecgrid-faulted", func() scenario.Config {
+			cfg := scenario.Default(scenario.ECGRID)
+			cfg.Hosts = 40
+			cfg.Duration = 120
+			cfg.Seed = 13
+			cfg.Faults = mustPreset("mixed", cfg.Hosts, cfg.AreaSize, cfg.Duration)
+			return cfg
+		}()},
+		{"span-faulted", func() scenario.Config {
+			cfg := scenario.Default(scenario.SPAN)
+			cfg.Hosts = 30
+			cfg.Duration = 80
+			cfg.Seed = 5
+			cfg.Faults = mustPreset("churn", cfg.Hosts, cfg.AreaSize, cfg.Duration)
 			return cfg
 		}()},
 	}

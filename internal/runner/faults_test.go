@@ -1,0 +1,81 @@
+package runner
+
+import (
+	"testing"
+
+	"ecgrid/internal/faults"
+	"ecgrid/internal/scenario"
+)
+
+func faulted(p scenario.ProtocolKind, preset string, seed int64) scenario.Config {
+	cfg := scenario.Default(p)
+	cfg.Hosts = 40
+	cfg.Duration = 120
+	cfg.Seed = seed
+	plan, err := faults.Preset(preset, cfg.Hosts, cfg.AreaSize, cfg.Duration)
+	if err != nil {
+		panic(err)
+	}
+	cfg.Faults = plan
+	return cfg
+}
+
+func TestGatewayCrashRecovery(t *testing.T) {
+	r := Run(faulted(scenario.ECGRID, "gateway-crash", 3))
+	if r.GatewayCrashes < 1 {
+		t.Fatalf("GatewayCrashes = %d, want ≥ 1", r.GatewayCrashes)
+	}
+	if r.Reelections < 1 {
+		t.Fatalf("Reelections = %d, want ≥ 1: the grid never replaced its gateway", r.Reelections)
+	}
+	if r.MeanReelectionLatency <= 0 {
+		t.Fatalf("MeanReelectionLatency = %g, want finite > 0", r.MeanReelectionLatency)
+	}
+	if r.MeanRouteRepairTime < 0 {
+		t.Fatalf("MeanRouteRepairTime = %g, want measured", r.MeanRouteRepairTime)
+	}
+	if r.DeliveryRate <= 0 {
+		t.Fatal("no traffic delivered under a single gateway crash")
+	}
+	// Delivery recovers after the fault window: out-of-window traffic
+	// must flow (the windows cover only the middle half of the run).
+	if r.OutFaultDeliveryRate <= 0 {
+		t.Fatalf("OutFaultDeliveryRate = %g, want > 0", r.OutFaultDeliveryRate)
+	}
+}
+
+func TestJamCenterDropsFrames(t *testing.T) {
+	r := Run(faulted(scenario.ECGRID, "jam-center", 7))
+	if r.Radio.Jammed == 0 {
+		t.Fatal("jam-center preset jammed no frames")
+	}
+	if r.Sent == 0 || r.Delivered == 0 {
+		t.Fatalf("sent=%d delivered=%d: jamming a central rectangle must not kill all traffic", r.Sent, r.Delivered)
+	}
+}
+
+func TestLossyRASDropsPages(t *testing.T) {
+	r := Run(faulted(scenario.ECGRID, "lossy-ras", 11))
+	if r.PagesDropped == 0 {
+		t.Fatal("lossy-ras preset dropped no pages")
+	}
+	if r.DeliveryRate <= 0 {
+		t.Fatal("no delivery under lossy paging")
+	}
+}
+
+func TestNoPlanLeavesRecoveryUnmeasured(t *testing.T) {
+	r := Run(small(scenario.ECGRID))
+	if r.GatewayCrashes != 0 || r.Reelections != 0 {
+		t.Fatalf("crash metrics nonzero without a plan: %d/%d", r.GatewayCrashes, r.Reelections)
+	}
+	if r.MeanReelectionLatency != -1 || r.MeanRouteRepairTime != -1 {
+		t.Fatalf("latencies measured without faults: %g/%g", r.MeanReelectionLatency, r.MeanRouteRepairTime)
+	}
+	if r.InFaultDeliveryRate != -1 {
+		t.Fatalf("InFaultDeliveryRate = %g without windows, want -1", r.InFaultDeliveryRate)
+	}
+	if r.PagesDropped != 0 {
+		t.Fatalf("PagesDropped = %d without a plan", r.PagesDropped)
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"ecgrid/internal/core"
 	"ecgrid/internal/energy"
+	"ecgrid/internal/faults"
 	"ecgrid/internal/geom"
 	"ecgrid/internal/grid"
 	"ecgrid/internal/hostid"
@@ -53,12 +54,30 @@ type Results struct {
 	// Protocol aggregates per-host protocol counters by name.
 	Protocol map[string]uint64
 
+	// Recovery observables, populated when the scenario injects faults.
+	// Plain fields (like MedianLatency) so they survive batch manifest
+	// serialization. The rates and means are -1 when unmeasurable: no
+	// in/out-window traffic, no replaced gateway, no post-fault delivery.
+	GatewayCrashes        int
+	Reelections           int
+	MeanReelectionLatency float64
+	MeanRouteRepairTime   float64
+	InFaultDeliveryRate   float64
+	OutFaultDeliveryRate  float64
+	PagesDropped          uint64
+
 	Collector *metrics.Collector
 }
 
-// sender pairs a host with its protocol's data entry point.
-type sender interface {
-	traffic.Sender
+// relaySender indirects a host's traffic entry point so CBR flows keep
+// working across crash/recovery: recovery installs a fresh protocol
+// instance, and the relay re-points cur at it.
+type relaySender struct{ cur traffic.Sender }
+
+func (r *relaySender) SubmitData(pkt *routing.DataPacket) {
+	if r.cur != nil {
+		r.cur.SubmitData(pkt)
+	}
 }
 
 // Run executes the scenario and returns its results. It panics on an
@@ -83,11 +102,13 @@ func Run(cfg scenario.Config) *Results {
 
 	type hostRec struct {
 		host     *node.Host
-		snd      sender
+		snd      *relaySender
 		limited  bool // counts toward alive fraction and aen
 		statsFn  func() map[string]uint64
+		prev     map[string]uint64 // counters of protocols lost to crashes
 		bat      *energy.Battery
 		endpoint bool
+		gw       func() (grid.Coord, bool) // current grid + gateway-ness (core only)
 	}
 
 	total := cfg.Hosts
@@ -95,6 +116,61 @@ func Run(cfg scenario.Config) *Results {
 		total += cfg.EndpointHosts
 	}
 	recs := make([]hostRec, 0, total)
+
+	// buildProtocol installs a fresh protocol instance on rec's host —
+	// at construction, and again on recovery from an injected crash
+	// (volatile protocol state does not survive a power cycle). Counters
+	// of the instance being replaced are folded into rec.prev first.
+	buildProtocol := func(rec *hostRec) {
+		if rec.statsFn != nil {
+			if rec.prev == nil {
+				rec.prev = make(map[string]uint64)
+			}
+			for k, v := range rec.statsFn() {
+				rec.prev[k] += v
+			}
+		}
+		h := rec.host
+		rec.gw = nil
+		switch cfg.Protocol {
+		case scenario.ECGRID, scenario.GRID:
+			opt := core.DefaultOptions()
+			if cfg.Protocol == scenario.GRID {
+				opt = core.GridOptions()
+			}
+			if cfg.ECGRIDOptions != nil {
+				opt = *cfg.ECGRIDOptions
+			}
+			p := core.New(h, opt)
+			p.OnDeliver = func(pkt *routing.DataPacket) { col.PacketDelivered(pkt, engine.Now()) }
+			p.OnGateway = col.GatewayDeclared
+			h.SetProtocol(p)
+			rec.snd.cur = p
+			rec.gw = func() (grid.Coord, bool) { return p.Grid(), p.IsGateway() }
+			rec.statsFn = func() map[string]uint64 { return coreStats(&p.Stats) }
+		case scenario.SPAN:
+			p := span.New(h, span.DefaultOptions())
+			p.OnDeliver = func(pkt *routing.DataPacket) { col.PacketDelivered(pkt, engine.Now()) }
+			h.SetProtocol(p)
+			rec.snd.cur = p
+			rec.statsFn = func() map[string]uint64 { return spanStats(&p.Stats) }
+		case scenario.GAF, scenario.AODV:
+			opt := gaf.DefaultOptions()
+			if cfg.GAFOptions != nil {
+				opt = *cfg.GAFOptions
+			}
+			var p *gaf.Protocol
+			if cfg.Protocol == scenario.AODV {
+				p = gaf.NewAODV(h, opt)
+			} else {
+				p = gaf.New(h, opt, rec.endpoint)
+			}
+			p.OnDeliver = func(pkt *routing.DataPacket) { col.PacketDelivered(pkt, engine.Now()) }
+			h.SetProtocol(p)
+			rec.snd.cur = p
+			rec.statsFn = func() map[string]uint64 { return gafStats(&p.Stats) }
+		}
+	}
 
 	place := func(i int) geom.Point {
 		return geom.Point{
@@ -130,47 +206,69 @@ func Run(cfg scenario.Config) *Results {
 		})
 		h.Died = func(id hostid.ID, at float64) { col.HostDied(at) }
 
-		rec := hostRec{host: h, limited: !endpoint, bat: bat, endpoint: endpoint}
-		switch cfg.Protocol {
-		case scenario.ECGRID, scenario.GRID:
-			opt := core.DefaultOptions()
-			if cfg.Protocol == scenario.GRID {
-				opt = core.GridOptions()
-			}
-			if cfg.ECGRIDOptions != nil {
-				opt = *cfg.ECGRIDOptions
-			}
-			p := core.New(h, opt)
-			p.OnDeliver = func(pkt *routing.DataPacket) { col.PacketDelivered(pkt, engine.Now()) }
-			h.SetProtocol(p)
-			rec.snd = p
-			rec.statsFn = func() map[string]uint64 { return coreStats(&p.Stats) }
-		case scenario.SPAN:
-			p := span.New(h, span.DefaultOptions())
-			p.OnDeliver = func(pkt *routing.DataPacket) { col.PacketDelivered(pkt, engine.Now()) }
-			h.SetProtocol(p)
-			rec.snd = p
-			rec.statsFn = func() map[string]uint64 { return spanStats(&p.Stats) }
-		case scenario.GAF, scenario.AODV:
-			opt := gaf.DefaultOptions()
-			if cfg.GAFOptions != nil {
-				opt = *cfg.GAFOptions
-			}
-			var p *gaf.Protocol
-			if cfg.Protocol == scenario.AODV {
-				p = gaf.NewAODV(h, opt)
-			} else {
-				p = gaf.New(h, opt, endpoint)
-			}
-			p.OnDeliver = func(pkt *routing.DataPacket) { col.PacketDelivered(pkt, engine.Now()) }
-			h.SetProtocol(p)
-			rec.snd = p
-			rec.statsFn = func() map[string]uint64 { return gafStats(&p.Stats) }
-		}
-		recs = append(recs, rec)
+		recs = append(recs, hostRec{
+			host: h, snd: &relaySender{}, limited: !endpoint, bat: bat, endpoint: endpoint,
+		})
+		buildProtocol(&recs[len(recs)-1])
 	}
 	for i := range recs {
 		recs[i].host.Start()
+	}
+
+	// Fault injection: translate the plan into per-host targets and
+	// channel/bus hooks. Everything runs inside engine events, so the
+	// determinism contract holds with a plan active.
+	if plan := cfg.Faults; plan != nil && !plan.Empty() {
+		ws := plan.Windows(cfg.Duration)
+		mws := make([]metrics.Window, len(ws))
+		for i, w := range ws {
+			mws[i] = metrics.Window{From: w.From, Until: w.Until}
+		}
+		col.SetFaultWindows(mws)
+
+		targets := make([]faults.Target, len(recs))
+		for i := range recs {
+			rec := &recs[i]
+			h := rec.host
+			targets[i] = faults.Target{
+				Crash: func() {
+					if rec.gw != nil && !h.Dead() && !h.Crashed() {
+						if g, isGW := rec.gw(); isGW {
+							col.GatewayCrashed(g, engine.Now())
+						}
+					}
+					h.Crash()
+				},
+				Recover: func() {
+					if h.Dead() || !h.Crashed() {
+						return
+					}
+					buildProtocol(rec) // cold rejoin: all volatile state lost
+					h.Recover()
+				},
+				Shock: h.DrainBattery,
+				IsGateway: func() bool {
+					if rec.gw == nil || h.Dead() || h.Crashed() {
+						return false
+					}
+					_, isGW := rec.gw()
+					return isGW
+				},
+				SetGPSNoise: h.SetGPSNoise,
+			}
+		}
+		inj := faults.NewInjector(engine, rng, plan, targets)
+		inj.OnFault = func(kind string, host int, at float64) {
+			switch kind {
+			case "crash", "shock", "jam-on", "paging-on", "gps-on":
+				col.FaultInjected(at)
+			}
+		}
+		channel.Interceptor = func(f *radio.Frame, from, to geom.Point) bool {
+			return !inj.FrameJammed(from, to)
+		}
+		bus.DropHook = func(hostid.ID) bool { return inj.PageDropped() }
+		inj.Start()
 	}
 
 	// Traffic: flow endpoints. Under GAF Model 1 the flows run between
@@ -199,7 +297,7 @@ func Run(cfg scenario.Config) *Results {
 		}
 		flow.OnSend = func(pkt *routing.DataPacket) { col.PacketSent(pkt) }
 		srcHost := src.host
-		flow.Gate = func() bool { return !srcHost.Dead() }
+		flow.Gate = func() bool { return !srcHost.Dead() && !srcHost.Crashed() }
 		snd := src.snd
 		phase := cfg.TrafficStart + rng.Uniform("flowphase", 0, 1/cfg.RatePerFlow)
 		flow.Start(engine, snd, phase)
@@ -221,7 +319,7 @@ func Run(cfg scenario.Config) *Results {
 			if !r.limited {
 				continue
 			}
-			if !r.host.Dead() {
+			if !r.host.Dead() && !r.host.Crashed() {
 				alive++
 			}
 			consumed += r.bat.Consumed(now)
@@ -255,7 +353,16 @@ func Run(cfg scenario.Config) *Results {
 		Radio:         channel.Counters(),
 		PerKind:       channel.PerKind(),
 		Protocol:      make(map[string]uint64),
-		Collector:     col,
+
+		GatewayCrashes:        col.GatewayCrashes(),
+		Reelections:           len(col.ReelectionLatencies()),
+		MeanReelectionLatency: col.MeanReelectionLatency(),
+		MeanRouteRepairTime:   col.MeanRouteRepairTime(),
+		InFaultDeliveryRate:   col.InWindowDeliveryRate(),
+		OutFaultDeliveryRate:  col.OutWindowDeliveryRate(),
+		PagesDropped:          bus.PagesDropped,
+
+		Collector: col,
 	}
 	for _, p := range col.Alive.Points {
 		res.Alive = append(res.Alive, struct{ T, V float64 }{p.T, p.V})
@@ -268,6 +375,9 @@ func Run(cfg scenario.Config) *Results {
 			continue
 		}
 		for k, v := range r.statsFn() {
+			res.Protocol[k] += v
+		}
+		for k, v := range r.prev {
 			res.Protocol[k] += v
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"ecgrid/internal/core"
+	"ecgrid/internal/faults"
 	"ecgrid/internal/protocols/gaf"
 	"ecgrid/internal/radio"
 	"ecgrid/internal/trace"
@@ -101,6 +102,11 @@ type Config struct {
 	// the defaults (GridOptions for GRID).
 	ECGRIDOptions *core.Options
 	GAFOptions    *gaf.Options
+	// Faults, if non-nil and non-empty, injects the plan's crashes,
+	// battery shocks, jamming, paging loss, and GPS errors into the run.
+	// omitempty keeps the JSON encoding — and with it batch manifest
+	// keys — identical to fault-free configs when no plan is set.
+	Faults *faults.Plan `json:",omitempty"`
 	// Trace, if non-nil, records every transmission (and deliveries)
 	// into the given recorder. Runtime-only: not serialized.
 	Trace *trace.Recorder `json:"-"`
@@ -170,6 +176,15 @@ func (c Config) Validate() error {
 	}
 	if c.Duration <= 0 || c.SampleEvery <= 0 {
 		return errors.New("scenario: non-positive duration or sample period")
+	}
+	if c.Faults != nil {
+		total := c.Hosts
+		if c.Protocol == GAF {
+			total += c.EndpointHosts
+		}
+		if err := c.Faults.Validate(total, c.AreaSize, c.Duration); err != nil {
+			return err
+		}
 	}
 	return nil
 }
