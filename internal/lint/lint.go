@@ -181,6 +181,7 @@ var SimPackages = []string{
 	"ecgrid/internal/node",
 	"ecgrid/internal/protocols",
 	"ecgrid/internal/faults",
+	"ecgrid/internal/spatial",
 }
 
 // FloatPackages lists the package trees where floating-point ==/!= is

@@ -9,8 +9,9 @@ import (
 
 func TestMapRange(t *testing.T) {
 	analysistest.Run(t, "testdata", maprange.Analyzer,
-		"ecgrid/internal/core/mrfix",      // in scope: hits and suppressions
-		"ecgrid/internal/faults/mrfaults", // in scope: fault plans feed sim state
-		"ecgrid/internal/batch/mrclean",   // out of scope: no diagnostics
+		"ecgrid/internal/core/mrfix",        // in scope: hits and suppressions
+		"ecgrid/internal/faults/mrfaults",   // in scope: fault plans feed sim state
+		"ecgrid/internal/spatial/mrspatial", // in scope: index order must not leak
+		"ecgrid/internal/batch/mrclean",     // out of scope: no diagnostics
 	)
 }

@@ -1,0 +1,37 @@
+// Package mrspatial exercises maprange inside the spatial-index package
+// path: the index promises candidate order independent of map hash
+// order, so a range over its id-keyed bookkeeping is exactly the bug
+// the analyzer exists to catch.
+package mrspatial
+
+type index struct {
+	byID  map[int]*struct{ cell int }
+	cells [][]int
+}
+
+func hit(ix *index) int {
+	n := 0
+	for range ix.byID { // want `range over map ix.byID`
+		n++
+	}
+	return n
+}
+
+func suppressed(ix *index) int {
+	worst := -1
+	//simlint:ordered existence scan only; the max is order-free
+	for _, e := range ix.byID {
+		if e.cell > worst {
+			worst = e.cell
+		}
+	}
+	return worst
+}
+
+func clean(ix *index) int {
+	n := 0
+	for _, bucket := range ix.cells {
+		n += len(bucket)
+	}
+	return n
+}

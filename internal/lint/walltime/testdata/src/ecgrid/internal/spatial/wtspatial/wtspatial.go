@@ -1,0 +1,18 @@
+// Package wtspatial exercises walltime inside the spatial-index package
+// path: re-bucket events are scheduled in simulation time, and any
+// wall-clock read there would leak host time into event order.
+package wtspatial
+
+import "time"
+
+func hit() time.Time {
+	return time.Now() // want `time.Now in a simulation package`
+}
+
+func suppressed() time.Time {
+	return time.Now() //simlint:walltime profiling aid, never reaches the engine
+}
+
+func clean(rebucketDelay float64) time.Duration {
+	return time.Duration(rebucketDelay * float64(time.Second))
+}

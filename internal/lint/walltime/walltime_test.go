@@ -9,8 +9,9 @@ import (
 
 func TestWallTime(t *testing.T) {
 	analysistest.Run(t, "testdata", walltime.Analyzer,
-		"ecgrid/internal/sim/wtfix",       // in scope: hits and suppressions
-		"ecgrid/internal/faults/wtfaults", // in scope: fault timing is sim time
-		"ecgrid/internal/batch/wtclean",   // out of scope: no diagnostics
+		"ecgrid/internal/sim/wtfix",         // in scope: hits and suppressions
+		"ecgrid/internal/faults/wtfaults",   // in scope: fault timing is sim time
+		"ecgrid/internal/spatial/wtspatial", // in scope: re-bucketing is sim time
+		"ecgrid/internal/batch/wtclean",     // out of scope: no diagnostics
 	)
 }

@@ -61,7 +61,7 @@ type leg struct {
 	pauseEnd float64 // arrive + pause
 }
 
-func (l leg) positionAt(t float64) geom.Point {
+func (l *leg) positionAt(t float64) geom.Point {
 	if t >= l.arrive {
 		return l.to
 	}
@@ -70,7 +70,7 @@ func (l leg) positionAt(t float64) geom.Point {
 	return l.from.Add(d.Scale(frac))
 }
 
-func (l leg) velocityAt(t float64) geom.Vector {
+func (l *leg) velocityAt(t float64) geom.Vector {
 	if t >= l.arrive {
 		return geom.Vector{}
 	}
@@ -86,6 +86,7 @@ type RandomWaypoint struct {
 	pause    float64
 	rng      randSource
 	legs     []leg
+	cur      int // index of the last leg returned by legAt (memo)
 }
 
 // NewRandomWaypoint creates a waypoint process starting at `start` at time
@@ -121,9 +122,18 @@ func (w *RandomWaypoint) nextLeg(start float64, from geom.Point) leg {
 }
 
 // legAt returns the leg containing time t, generating legs as needed.
-func (w *RandomWaypoint) legAt(t float64) leg {
+// The last hit is memoized: legs tile time contiguously as
+// [start, pauseEnd), so a containment check on the cached index gives
+// the same answer the binary search would, and simulation queries are
+// overwhelmingly clustered within one leg. The returned pointer is into
+// w.legs and is only valid until the next legAt call (growth may move
+// the backing array).
+func (w *RandomWaypoint) legAt(t float64) *leg {
 	if t < 0 {
 		panic("mobility: negative time")
+	}
+	if l := &w.legs[w.cur]; l.start <= t && t < l.pauseEnd {
+		return l
 	}
 	last := w.legs[len(w.legs)-1]
 	for last.pauseEnd <= t {
@@ -144,7 +154,8 @@ func (w *RandomWaypoint) legAt(t float64) leg {
 			lo = mid + 1
 		}
 	}
-	return w.legs[lo]
+	w.cur = lo
+	return &w.legs[lo]
 }
 
 // Position returns the host location at time t.

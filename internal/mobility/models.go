@@ -23,6 +23,7 @@ type RandomDirection struct {
 	pause float64
 	rng   randSource
 	legs  []dirLeg
+	cur   int // index of the last leg returned by legAt (memo)
 }
 
 type dirLeg struct {
@@ -59,6 +60,11 @@ func (m *RandomDirection) legAt(t float64) dirLeg {
 	if t < 0 {
 		panic("mobility: negative time")
 	}
+	// Same memo as RandomWaypoint.legAt: legs tile [start, pauseEnd), so
+	// the cached index answers clustered queries without searching.
+	if l := m.legs[m.cur]; l.start <= t && t < l.pauseEnd {
+		return l
+	}
 	last := m.legs[len(m.legs)-1]
 	for last.pauseEnd <= t {
 		next := m.nextLeg(last.pauseEnd, m.positionInLeg(last, last.pauseEnd))
@@ -66,6 +72,7 @@ func (m *RandomDirection) legAt(t float64) dirLeg {
 		last = next
 	}
 	i := sort.Search(len(m.legs), func(i int) bool { return m.legs[i].pauseEnd > t })
+	m.cur = i
 	return m.legs[i]
 }
 

@@ -93,6 +93,14 @@ type Host struct {
 	deathEv  *sim.Event // pending death-check event
 	lastCell grid.Coord
 
+	// Position memo: mobility is a pure function of time, and the radio
+	// path asks for the same host's position many times within one event
+	// (receiver scan, carrier sense, GPS reads), so the leg lookup and
+	// interpolation run once per (host, event time).
+	posAt  float64
+	posPt  geom.Point
+	posSet bool
+
 	// Died, if set, is called once when the battery empties.
 	Died func(id hostid.ID, at float64)
 
@@ -186,9 +194,25 @@ func (h *Host) RNG() *sim.RNG { return h.rng }
 // Partition returns the grid partition.
 func (h *Host) Partition() *grid.Partition { return h.partition }
 
-// Position returns the host's true current location. The radio channel
-// and the RAS bus range checks use it.
-func (h *Host) Position() geom.Point { return h.mob.Position(h.engine.Now()) }
+// Position returns the host's true current location, memoized per event
+// time. The radio channel and the RAS bus range checks use it.
+func (h *Host) Position() geom.Point {
+	now := h.engine.Now()
+	if !h.posSet || h.posAt != now {
+		h.posPt = h.mob.Position(now)
+		h.posAt = now
+		h.posSet = true
+	}
+	return h.posPt
+}
+
+// NextExit implements radio.Mover for the channel's spatial index: the
+// earliest time ≥ t the host's position may leave bounds, bounded by a
+// one-hour re-check horizon.
+func (h *Host) NextExit(t float64, bounds geom.Rect) float64 {
+	const horizon = 3600.0
+	return mobility.NextRectExit(h.mob, t, bounds, t+horizon)
+}
 
 // GPS returns the position the host's positioning device reports: the
 // true position plus any injected noise. Everything the protocol derives
@@ -196,7 +220,7 @@ func (h *Host) Position() geom.Point { return h.mob.Position(h.engine.Now()) }
 // the GPS, so a GPS-error fault degrades routing decisions without
 // bending physics.
 func (h *Host) GPS() geom.Point {
-	p := h.mob.Position(h.engine.Now())
+	p := h.Position()
 	if h.gpsNoise != nil {
 		dx, dy := h.gpsNoise(h.engine.Now())
 		p.X += dx

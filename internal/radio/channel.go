@@ -2,12 +2,14 @@ package radio
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"ecgrid/internal/energy"
 	"ecgrid/internal/geom"
 	"ecgrid/internal/hostid"
 	"ecgrid/internal/sim"
+	"ecgrid/internal/spatial"
 )
 
 // Endpoint is what the channel needs from an attached host. The node
@@ -25,14 +27,26 @@ type Endpoint interface {
 	Deliver(f *Frame)
 }
 
+// Mover is an optional Endpoint extension: hosts that can bound their
+// own future movement implement it so the channel's spatial index can
+// re-bucket them event-driven instead of scanning. NextExit must return
+// a conservative (never late) estimate of the earliest time ≥ t at
+// which the host's position may leave bounds, or +Inf if it never will.
+// Endpoints without it (test stubs) are kept on a brute-force side list
+// and still receive correctly.
+type Mover interface {
+	NextExit(t float64, bounds geom.Rect) float64
+}
+
 // transmission is a frame in flight.
 type transmission struct {
 	frame   *Frame
 	sender  *station
 	from    geom.Point // sender position at transmission start
 	ends    float64
-	rx      []*reception
-	attempt int // retry count for unicast
+	rx      []reception // fixed-capacity: receiving maps hold &rx[i]
+	seq     uint64      // carrier-sense index key
+	attempt int         // retry count for unicast
 }
 
 // reception is one receiver's view of a transmission.
@@ -49,10 +63,40 @@ type station struct {
 	detached  bool
 
 	transmitting *transmission
-	receiving    map[*transmission]*reception
-	queue        []*queued
-	accessing    bool // backoff event pending
-	cwSlots      int  // current contention window
+	// receiving holds the in-progress receptions at this station. It is
+	// a slice, not a map: stations overhear at most a handful of frames
+	// at once, so a linear scan beats hashing, and every consumer is
+	// either a pure existence check or an order-insensitive corruption
+	// sweep, so insertion order (which is deterministic) never shows.
+	receiving []*reception
+	queue     sendQueue
+	accessing bool // backoff event pending
+	cwSlots   int  // current contention window
+}
+
+// dropReceiving removes one reception from the station's in-progress
+// list by identity. Swap-delete: order is not meaningful (see receiving).
+func (s *station) dropReceiving(r *reception) bool {
+	for j, o := range s.receiving {
+		if o == r {
+			last := len(s.receiving) - 1
+			s.receiving[j] = s.receiving[last]
+			s.receiving[last] = nil
+			s.receiving = s.receiving[:last]
+			return true
+		}
+	}
+	return false
+}
+
+// abortReceiving corrupts and clears every in-progress reception (the
+// station slept or died mid-frame).
+func (s *station) abortReceiving() {
+	for i, r := range s.receiving {
+		r.corrupted = true
+		s.receiving[i] = nil
+	}
+	s.receiving = s.receiving[:0]
 }
 
 // queued is a frame waiting for medium access.
@@ -87,6 +131,28 @@ type Channel struct {
 	counters Counters
 	perKind  map[string]KindCount
 
+	// Spatial acceleration (nil when cfg.BruteForce): index buckets the
+	// Mover-capable stations for receiver discovery, txIdx holds the
+	// origins of in-flight transmissions for carrier sense, and
+	// unindexed lists stations without motion info (sorted; scanned
+	// brute-force and merged into the candidate set).
+	index     *spatial.Index[*station]
+	txIdx     *spatial.PointSet
+	unindexed []hostid.ID
+	// Receiver-scan scratch: cand collects the index's unsorted
+	// candidates; cpos holds each admitted candidate's position (parallel
+	// to cand); keys imposes host-ID iteration order by sorting packed
+	// (ID, candidate-index) int64s over only the candidates that passed
+	// the receiver filter — a plain integer sort over the survivors, an
+	// order of magnitude cheaper than sorting all candidate structs with
+	// a comparison closure. rxFree recycles reception buffers (their
+	// pointers leave the receiving lists before the buffer is pooled).
+	cand   []spatial.Candidate[*station]
+	cpos   []geom.Point
+	keys   []int64
+	rxFree [][]reception
+	txSeq  uint64
+
 	// Sniffer, when non-nil, observes every transmission start. Tests
 	// and the trace layer use it.
 	Sniffer func(f *Frame, at float64)
@@ -112,7 +178,7 @@ func NewChannel(engine *sim.Engine, rng *sim.RNG, cfg Config) *Channel {
 	if cfg.MaxBackoffSlots < cfg.MinBackoffSlots {
 		cfg.MaxBackoffSlots = cfg.MinBackoffSlots
 	}
-	return &Channel{
+	c := &Channel{
 		engine:   engine,
 		rng:      rng,
 		cfg:      cfg,
@@ -120,6 +186,22 @@ func NewChannel(engine *sim.Engine, rng *sim.RNG, cfg Config) *Channel {
 		active:   make(map[*transmission]struct{}),
 		perKind:  make(map[string]KindCount),
 	}
+	if !cfg.BruteForce {
+		// Cell side and slack trade query breadth against maintenance
+		// rate; any positive values are correct (see internal/spatial),
+		// so the defaults just balance the two at the paper's geometry.
+		side := cfg.IndexCellM
+		if side <= 0 {
+			side = cfg.Range / 2
+		}
+		slack := cfg.IndexSlackM
+		if slack <= 0 {
+			slack = cfg.Range / 8
+		}
+		c.index = spatial.NewIndex[*station](engine, side, slack)
+		c.txIdx = spatial.NewPointSet(side)
+	}
+	return c
 }
 
 // Counters returns a snapshot of the channel-wide MAC statistics.
@@ -144,16 +226,30 @@ func (c *Channel) Attach(ep Endpoint) {
 	if _, dup := c.stations[id]; dup {
 		panic(fmt.Sprintf("radio: duplicate attach of %v", id))
 	}
-	c.stations[id] = &station{
+	if c.index != nil && (id < 0 || int64(id) > int64(1<<31-1)) {
+		// The receiver scan packs IDs into the top 32 bits of a sort key.
+		panic(fmt.Sprintf("radio: host id %v outside [0, 2^31) — use Config.BruteForce for exotic id spaces", id))
+	}
+	st := &station{
 		ep:        ep,
 		listening: true,
-		receiving: make(map[*transmission]*reception),
 		cwSlots:   c.cfg.MinBackoffSlots,
 	}
+	c.stations[id] = st
 	i := sort.Search(len(c.order), func(i int) bool { return c.order[i] >= id })
 	c.order = append(c.order, 0)
 	copy(c.order[i+1:], c.order[i:])
 	c.order[i] = id
+	if c.index != nil {
+		if mv, ok := ep.(Mover); ok {
+			c.index.Insert(id, st, ep.Position, mv.NextExit)
+		} else {
+			j := sort.Search(len(c.unindexed), func(j int) bool { return c.unindexed[j] >= id })
+			c.unindexed = append(c.unindexed, 0)
+			copy(c.unindexed[j+1:], c.unindexed[j:])
+			c.unindexed[j] = id
+		}
+	}
 }
 
 // Detach removes a host (battery death). In-flight receptions at the host
@@ -165,14 +261,17 @@ func (c *Channel) Detach(id hostid.ID) {
 		return
 	}
 	st.detached = true
-	st.queue = nil
-	for tx, r := range st.receiving {
-		r.corrupted = true
-		delete(st.receiving, tx)
-	}
+	st.queue.clear()
+	st.abortReceiving()
 	delete(c.stations, id)
 	if i := sort.Search(len(c.order), func(i int) bool { return c.order[i] >= id }); i < len(c.order) && c.order[i] == id {
 		c.order = append(c.order[:i], c.order[i+1:]...)
+	}
+	if c.index != nil {
+		c.index.Remove(id)
+		if j := sort.Search(len(c.unindexed), func(j int) bool { return c.unindexed[j] >= id }); j < len(c.unindexed) && c.unindexed[j] == id {
+			c.unindexed = append(c.unindexed[:j], c.unindexed[j+1:]...)
+		}
 	}
 }
 
@@ -190,10 +289,7 @@ func (c *Channel) SetListening(id hostid.ID, on bool) {
 	}
 	st.listening = on
 	if !on {
-		for tx, r := range st.receiving {
-			r.corrupted = true
-			delete(st.receiving, tx)
-		}
+		st.abortReceiving()
 	}
 	c.updateMode(st)
 }
@@ -226,18 +322,18 @@ func (c *Channel) Send(src hostid.ID, f *Frame) {
 		panic(fmt.Sprintf("radio: frame with non-positive size: %v", f))
 	}
 	f.Src = src
-	if c.cfg.QueueLimit > 0 && len(st.queue) >= c.cfg.QueueLimit {
+	if c.cfg.QueueLimit > 0 && st.queue.len() >= c.cfg.QueueLimit {
 		return // tail drop
 	}
 	c.counters.FramesQueued++
-	st.queue = append(st.queue, &queued{frame: f})
+	st.queue.pushBack(queued{frame: f})
 	c.maybeAccess(st)
 }
 
 // maybeAccess starts the medium-access procedure if the station is idle
 // with work queued.
 func (c *Channel) maybeAccess(st *station) {
-	if st.accessing || st.transmitting != nil || len(st.queue) == 0 || st.detached || !st.listening {
+	if st.accessing || st.transmitting != nil || st.queue.empty() || st.detached || !st.listening {
 		return
 	}
 	st.accessing = true
@@ -245,8 +341,14 @@ func (c *Channel) maybeAccess(st *station) {
 	c.engine.Schedule(wait, func() { c.tryTransmit(st) })
 }
 
-// busyAround reports whether any transmission is audible at p.
+// busyAround reports whether any transmission is audible at p. With the
+// spatial index, carrier sense probes only the cells within range of p;
+// the brute-force reference scans every active transmission (order-free:
+// the result is a bare existence check).
 func (c *Channel) busyAround(p geom.Point) bool {
+	if c.txIdx != nil {
+		return c.txIdx.AnyWithin(p, c.cfg.Range)
+	}
 	r2 := c.cfg.Range * c.cfg.Range
 	for tx := range c.active {
 		if tx.from.Dist2(p) <= r2 {
@@ -260,7 +362,7 @@ func (c *Channel) busyAround(p geom.Point) bool {
 // or defer with a doubled window.
 func (c *Channel) tryTransmit(st *station) {
 	st.accessing = false
-	if st.detached || !st.listening || len(st.queue) == 0 || st.transmitting != nil {
+	if st.detached || !st.listening || st.queue.empty() || st.transmitting != nil {
 		return
 	}
 	pos := st.ep.Position()
@@ -271,23 +373,30 @@ func (c *Channel) tryTransmit(st *station) {
 		c.maybeAccess(st)
 		return
 	}
-	q := st.queue[0]
-	st.queue = st.queue[1:]
+	q := st.queue.popFront()
 	st.cwSlots = c.cfg.MinBackoffSlots
 	c.startTransmission(st, q, pos)
 }
 
-func (c *Channel) startTransmission(st *station, q *queued, pos geom.Point) {
+func (c *Channel) startTransmission(st *station, q queued, pos geom.Point) {
 	air := c.cfg.AirTime(q.frame.Bytes)
 	tx := &transmission{
 		frame:   q.frame,
 		sender:  st,
 		from:    pos,
 		ends:    c.engine.Now() + air + c.cfg.PropDelay,
+		seq:     c.txSeq,
 		attempt: q.attempt,
 	}
+	c.txSeq++
 	st.transmitting = tx
-	c.active[tx] = struct{}{}
+	// Carrier sense reads exactly one of the two structures (busyAround),
+	// so only the one in use is maintained.
+	if c.txIdx != nil {
+		c.txIdx.Add(tx.seq, pos)
+	} else {
+		c.active[tx] = struct{}{}
+	}
 	c.counters.FramesSent++
 	c.counters.BytesOnAir += uint64(q.frame.Bytes)
 	kc := c.perKind[q.frame.Kind]
@@ -300,61 +409,150 @@ func (c *Channel) startTransmission(st *station, q *queued, pos geom.Point) {
 	c.updateMode(st)
 
 	// Establish receptions at every listening host in range, in ID
-	// order so runs are reproducible.
+	// order so runs are reproducible. The spatial index yields a sorted
+	// superset of the in-range hosts; the exact distance check below is
+	// the same one the brute-force path applies to the whole population,
+	// so both paths admit the identical receiver set in identical order.
 	r2 := c.cfg.Range * c.cfg.Range
-	for _, oid := range c.order {
-		other := c.stations[oid]
-		if other == st || !other.listening || other.detached {
-			continue
+	if c.index != nil {
+		c.cand = c.index.NearbyAppend(pos, c.cfg.Range, c.cand[:0])
+		for _, oid := range c.unindexed {
+			c.cand = append(c.cand, spatial.Candidate[*station]{ID: oid, Payload: c.stations[oid]})
 		}
-		otherPos := other.ep.Position()
-		if pos.Dist2(otherPos) > r2 {
-			continue
+		// Filter first, sort second: the range and listening checks are
+		// order-free (Position is pure per instant), so applying them
+		// before imposing ID order shrinks the sort to the hosts that
+		// actually receive — in a duty-cycled protocol, a small fraction
+		// of the candidates.
+		if cap(c.cpos) < len(c.cand) {
+			c.cpos = make([]geom.Point, len(c.cand))
 		}
-		rx := &reception{tx: tx, st: other}
-		if c.Interceptor != nil && !c.Interceptor(tx.frame, pos, otherPos) {
-			rx.corrupted = true
-			c.counters.Jammed++
-		}
-		if c.cfg.CollisionsEnabled {
-			if other.transmitting != nil {
-				// Half-duplex: a transmitting host cannot receive.
-				rx.corrupted = true
+		c.cpos = c.cpos[:len(c.cand)]
+		c.keys = c.keys[:0]
+		for i := range c.cand {
+			cd := &c.cand[i]
+			other := cd.Payload
+			if other == st || !other.listening || other.detached {
+				continue
 			}
-			if len(other.receiving) > 0 {
-				// Overlap: every concurrent reception is corrupted.
-				rx.corrupted = true
-				for _, o := range other.receiving {
-					if !o.corrupted {
-						o.corrupted = true
-						c.counters.Collisions++
-					}
+			// A Sure candidate's whole cell is inside the range disc, so
+			// the distance check is settled; its position is only needed
+			// when an Interceptor wants the receiver coordinates.
+			if !cd.Sure || c.Interceptor != nil {
+				otherPos := other.ep.Position()
+				if pos.Dist2(otherPos) > r2 {
+					continue
 				}
-				c.counters.Collisions++
+				c.cpos[i] = otherPos
 			}
+			// Pack (ID, candidate index) so a plain integer sort yields
+			// the iteration order the brute-force path walks c.order in.
+			c.keys = append(c.keys, int64(cd.ID)<<32|int64(i))
 		}
-		tx.rx = append(tx.rx, rx)
-		other.receiving[tx] = rx
-		c.updateMode(other)
+		slices.Sort(c.keys)
+		tx.rx = c.rxBuf(len(c.keys))
+		for _, k := range c.keys {
+			i := k & (1<<32 - 1)
+			c.admitReception(tx, c.cand[i].Payload, pos, c.cpos[i])
+		}
+	} else {
+		tx.rx = c.rxBuf(len(c.order))
+		for _, oid := range c.order {
+			other := c.stations[oid]
+			if other == st || !other.listening || other.detached {
+				continue
+			}
+			otherPos := other.ep.Position()
+			if pos.Dist2(otherPos) > r2 {
+				continue
+			}
+			c.admitReception(tx, other, pos, otherPos)
+		}
 	}
 
 	c.engine.Schedule(air+c.cfg.PropDelay, func() { c.endTransmission(tx) })
 }
 
+// rxBuf returns a reception buffer with at least the given capacity,
+// recycling one retired by endTransmission when it fits. The capacity
+// is a hard ceiling: receiving maps hold pointers into the buffer, so
+// it must never grow (admitReception enforces this).
+func (c *Channel) rxBuf(capacity int) []reception {
+	if n := len(c.rxFree); n > 0 {
+		buf := c.rxFree[n-1]
+		if cap(buf) >= capacity {
+			c.rxFree[n-1] = nil
+			c.rxFree = c.rxFree[:n-1]
+			return buf
+		}
+	}
+	return make([]reception, 0, capacity)
+}
+
+// recycleRx returns a transmission's reception buffer to the pool. All
+// pointers into it have left the receiving maps by end of transmission;
+// entries are zeroed so pooled buffers don't retain frames.
+func (c *Channel) recycleRx(tx *transmission) {
+	buf := tx.rx
+	tx.rx = nil
+	for i := range buf {
+		buf[i] = reception{}
+	}
+	c.rxFree = append(c.rxFree, buf[:0])
+}
+
+// admitReception records that other hears tx, applying interception and
+// collision corruption. tx.rx must have spare capacity: receiving maps
+// hold pointers into it, so growth would invalidate them.
+func (c *Channel) admitReception(tx *transmission, other *station, from, to geom.Point) {
+	if len(tx.rx) == cap(tx.rx) {
+		panic("radio: reception buffer capacity underestimated")
+	}
+	rx := reception{tx: tx, st: other}
+	if c.Interceptor != nil && !c.Interceptor(tx.frame, from, to) {
+		rx.corrupted = true
+		c.counters.Jammed++
+	}
+	if c.cfg.CollisionsEnabled {
+		if other.transmitting != nil {
+			// Half-duplex: a transmitting host cannot receive.
+			rx.corrupted = true
+		}
+		if len(other.receiving) > 0 {
+			// Overlap: every concurrent reception is corrupted.
+			rx.corrupted = true
+			for _, o := range other.receiving {
+				if !o.corrupted {
+					o.corrupted = true
+					c.counters.Collisions++
+				}
+			}
+			c.counters.Collisions++
+		}
+	}
+	tx.rx = append(tx.rx, rx)
+	other.receiving = append(other.receiving, &tx.rx[len(tx.rx)-1])
+	c.updateMode(other)
+}
+
 func (c *Channel) endTransmission(tx *transmission) {
 	st := tx.sender
-	delete(c.active, tx)
+	if c.txIdx != nil {
+		c.txIdx.Remove(tx.seq, tx.from)
+	} else {
+		delete(c.active, tx)
+	}
 	if st.transmitting == tx {
 		st.transmitting = nil
 	}
 	c.updateMode(st)
 
 	dstOK := false
-	for _, rx := range tx.rx {
+	for i := range tx.rx {
+		rx := &tx.rx[i]
 		// The reception may have been aborted by sleep/detach, in which
-		// case it is no longer in the receiving map.
-		if cur, ok := rx.st.receiving[tx]; ok && cur == rx {
-			delete(rx.st.receiving, tx)
+		// case it is no longer in the receiving list.
+		if rx.st.dropReceiving(rx) {
 			c.updateMode(rx.st)
 			if rx.corrupted || rx.st.detached || !rx.st.listening {
 				continue
@@ -375,7 +573,7 @@ func (c *Channel) endTransmission(tx *transmission) {
 			c.counters.Retries++
 			st.cwSlots = min(st.cwSlots*2, c.cfg.MaxBackoffSlots)
 			// Retries go to the queue front to preserve ordering.
-			st.queue = append([]*queued{{frame: tx.frame, attempt: tx.attempt + 1}}, st.queue...)
+			st.queue.pushFront(queued{frame: tx.frame, attempt: tx.attempt + 1})
 		} else {
 			c.counters.UnicastFailed++
 			// Link-layer feedback: tell the sender its frame died, as
@@ -385,6 +583,7 @@ func (c *Channel) endTransmission(tx *transmission) {
 			}
 		}
 	}
+	c.recycleRx(tx)
 	c.maybeAccess(st)
 }
 

@@ -32,6 +32,18 @@ type Config struct {
 	// QueueLimit caps each host's MAC transmit queue; further Sends are
 	// dropped (tail drop), as a real interface would.
 	QueueLimit int
+	// BruteForce disables the spatial neighbor index and scans the full
+	// population per transmission, as the seed implementation did. The
+	// two paths are byte-identical (see internal/runner's equivalence
+	// test); brute force exists as the reference oracle and for
+	// debugging, not for production runs.
+	BruteForce bool `json:",omitempty"`
+	// IndexCellM and IndexSlackM override the spatial index cell side
+	// and staleness slack, in meters. Zero selects defaults derived from
+	// Range. They tune performance only — results are identical for any
+	// positive values.
+	IndexCellM  float64 `json:",omitempty"`
+	IndexSlackM float64 `json:",omitempty"`
 }
 
 // DefaultConfig returns parameters matching the paper's simulation setup.

@@ -1,0 +1,67 @@
+package radio
+
+// sendQueue is the per-station MAC transmit queue: a slice-backed deque
+// with an explicit head index. The seed kept a plain slice and
+// re-queued unicast retries with append([]*queued{...}, queue...),
+// reallocating and copying the whole queue on every retry — O(queue)
+// per retry, quadratic under a retry storm. Here popFront advances the
+// head and pushFront backs it up into the dead prefix it left behind,
+// so the retry path (always pop first, push its retry later) is O(1).
+type sendQueue struct {
+	items []queued
+	head  int
+}
+
+func (q *sendQueue) len() int { return len(q.items) - q.head }
+
+func (q *sendQueue) empty() bool { return q.head == len(q.items) }
+
+func (q *sendQueue) pushBack(it queued) {
+	q.items = append(q.items, it)
+}
+
+// pushFront is used only for MAC retries, which follow a popFront of
+// the same frame: the head slot it vacated is normally still free, so
+// the common case writes in place.
+func (q *sendQueue) pushFront(it queued) {
+	if q.head > 0 {
+		q.head--
+		q.items[q.head] = it
+		return
+	}
+	q.items = append(q.items, queued{})
+	copy(q.items[1:], q.items)
+	q.items[0] = it
+}
+
+func (q *sendQueue) popFront() queued {
+	it := q.items[q.head]
+	q.items[q.head] = queued{} // release the frame pointer
+	q.head++
+	switch {
+	case q.head == len(q.items):
+		q.items = q.items[:0]
+		q.head = 0
+	case q.head > 32 && q.head*2 >= len(q.items):
+		// The dead prefix dominates: slide the live tail down so append
+		// growth never copies garbage. Each slide moves at most the live
+		// elements and the head must grow by as much again to re-trigger,
+		// so the cost stays amortized O(1) per operation.
+		n := copy(q.items, q.items[q.head:])
+		for i := n; i < len(q.items); i++ {
+			q.items[i] = queued{}
+		}
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return it
+}
+
+// clear drops all queued frames and releases their pointers.
+func (q *sendQueue) clear() {
+	for i := range q.items {
+		q.items[i] = queued{}
+	}
+	q.items = q.items[:0]
+	q.head = 0
+}

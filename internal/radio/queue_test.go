@@ -1,0 +1,110 @@
+package radio
+
+import (
+	"testing"
+
+	"ecgrid/internal/energy"
+	"ecgrid/internal/hostid"
+	"ecgrid/internal/sim"
+)
+
+func frameN(n int) *Frame { return &Frame{Kind: "t", Dst: hostid.Broadcast, Bytes: n} }
+
+func TestSendQueueFIFO(t *testing.T) {
+	var q sendQueue
+	if !q.empty() || q.len() != 0 {
+		t.Fatal("zero queue not empty")
+	}
+	for i := 1; i <= 5; i++ {
+		q.pushBack(queued{frame: frameN(i)})
+	}
+	for i := 1; i <= 5; i++ {
+		if got := q.popFront(); got.frame.Bytes != i {
+			t.Fatalf("popFront = %d, want %d", got.frame.Bytes, i)
+		}
+	}
+	if !q.empty() {
+		t.Fatal("queue not empty after draining")
+	}
+}
+
+func TestSendQueuePushFrontAfterPop(t *testing.T) {
+	// The MAC retry pattern: pop a frame, then push its retry back to
+	// the front; it must come out before everything queued behind it.
+	var q sendQueue
+	for i := 1; i <= 3; i++ {
+		q.pushBack(queued{frame: frameN(i)})
+	}
+	first := q.popFront()
+	q.pushFront(queued{frame: first.frame, attempt: first.attempt + 1})
+	if got := q.popFront(); got.frame.Bytes != 1 || got.attempt != 1 {
+		t.Fatalf("retry came out as (bytes=%d, attempt=%d), want (1, 1)", got.frame.Bytes, got.attempt)
+	}
+	if got := q.popFront(); got.frame.Bytes != 2 {
+		t.Fatalf("popFront = %d, want 2", got.frame.Bytes)
+	}
+	// pushFront on a queue with no vacated head (head == 0) must still work.
+	q.pushFront(queued{frame: frameN(9)})
+	if got := q.popFront(); got.frame.Bytes != 9 {
+		t.Fatalf("popFront = %d, want the front-pushed 9", got.frame.Bytes)
+	}
+	if got := q.popFront(); got.frame.Bytes != 3 {
+		t.Fatalf("popFront = %d, want 3", got.frame.Bytes)
+	}
+}
+
+// TestSendQueueCompaction drives the head index deep enough to trigger
+// the dead-prefix slide and checks no element is lost or reordered.
+func TestSendQueueCompaction(t *testing.T) {
+	var q sendQueue
+	next := 0
+	expect := 0
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 5; i++ {
+			next++
+			q.pushBack(queued{frame: frameN(next)})
+		}
+		for i := 0; i < 3; i++ {
+			expect++
+			if got := q.popFront(); got.frame.Bytes != expect {
+				t.Fatalf("round %d: popFront = %d, want %d", round, got.frame.Bytes, expect)
+			}
+		}
+		if q.len() != next-expect {
+			t.Fatalf("round %d: len = %d, want %d", round, q.len(), next-expect)
+		}
+	}
+	for !q.empty() {
+		expect++
+		if got := q.popFront(); got.frame.Bytes != expect {
+			t.Fatalf("drain: popFront = %d, want %d", got.frame.Bytes, expect)
+		}
+	}
+	q.pushBack(queued{frame: frameN(1)})
+	q.clear()
+	if !q.empty() {
+		t.Fatal("queue not empty after clear")
+	}
+}
+
+// BenchmarkRetryStorm measures the worst case the deque exists for: a
+// station with a deep backlog of unicasts to an unreachable destination,
+// so every frame burns through the full MAC retry budget and every
+// retry re-queues at the head. The seed's slice re-allocation made this
+// O(queue) per retry.
+func BenchmarkRetryStorm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg := DefaultConfig()
+		cfg.QueueLimit = 0 // unbounded: the backlog is the point
+		engine := sim.NewEngine()
+		c := NewChannel(engine, sim.NewRNG(1), cfg)
+		h := &fakeHost{id: 0, battery: energy.NewBattery(energy.PaperModel(), 1e6)}
+		c.Attach(h)
+		b.StartTimer()
+		for n := 0; n < 2000; n++ {
+			c.Send(0, &Frame{Kind: "data", Dst: 42, Bytes: 1024}) // host 42 does not exist
+		}
+		engine.Run(600)
+	}
+}

@@ -1,0 +1,58 @@
+package runner
+
+import (
+	"fmt"
+	"testing"
+
+	"ecgrid/internal/scenario"
+)
+
+// TestSpatialIndexEquivalence proves the radio channel's spatial
+// neighbor index is an optimization, not a model change: every scenario
+// must produce byte-identical metrics and trace fingerprints with the
+// index (the default) and with Radio.BruteForce, which scans the full
+// population exactly as the seed implementation did. The matrix covers
+// both protocols, a jamming fault plan (the Interceptor path disables
+// the Sure-candidate shortcut), and sparse vs. dense populations —
+// dense is where the index actually prunes, sparse is where bucket
+// boundary cases are most visible.
+func TestSpatialIndexEquivalence(t *testing.T) {
+	type variant struct {
+		proto scenario.ProtocolKind
+		fault string
+	}
+	variants := []variant{
+		{scenario.ECGRID, ""},
+		{scenario.SPAN, ""},
+		{scenario.ECGRID, "jam-center"},
+	}
+	for _, v := range variants {
+		for _, hosts := range []int{20, 200} {
+			name := fmt.Sprintf("%s-n%d", v.proto, hosts)
+			if v.fault != "" {
+				name = fmt.Sprintf("%s-%s-n%d", v.proto, v.fault, hosts)
+			}
+			t.Run(name, func(t *testing.T) {
+				cfg := scenario.Default(v.proto)
+				cfg.Hosts = hosts
+				cfg.Duration = 90
+				if hosts >= 200 {
+					cfg.Duration = 45 // dense runs are slow; keep CI snappy
+				}
+				cfg.Seed = int64(17 + hosts)
+				if v.fault != "" {
+					cfg.Faults = mustPreset(v.fault, cfg.Hosts, cfg.AreaSize, cfg.Duration)
+				}
+				ref := cfg
+				ref.Radio.BruteForce = true
+
+				indexed := fingerprint(cfg)
+				brute := fingerprint(ref)
+				if indexed != brute {
+					t.Fatalf("spatial index diverged from brute-force reference — first divergence:\n%s",
+						firstDiff(indexed, brute))
+				}
+			})
+		}
+	}
+}

@@ -81,7 +81,14 @@ type Engine struct {
 
 	// processed counts events that actually fired (excludes canceled).
 	processed uint64
+	// canceled counts queued events whose Cancel flag is set; it drives
+	// heap compaction so timer-heavy protocols cannot bloat the queue.
+	canceled int
 }
+
+// compactFloor is the queue size below which Cancel never compacts:
+// tiny heaps are cheap to carry and compacting them would just churn.
+const compactFloor = 64
 
 // NewEngine returns an engine with the clock at zero and an empty queue.
 func NewEngine() *Engine {
@@ -123,11 +130,46 @@ func (e *Engine) At(when Time, fn func()) *Event {
 
 // Cancel marks an event so it will not fire. Canceling an event that has
 // already fired, or canceling twice, is a harmless no-op.
+//
+// Canceled events normally stay queued until they reach the heap top
+// and are dropped lazily; when they come to outnumber live events,
+// Cancel compacts the whole queue in one O(n) pass so Pending() and
+// heap operations track the live population, not the churn.
 func (e *Engine) Cancel(ev *Event) {
-	if ev == nil {
+	if ev == nil || ev.canceled {
 		return
 	}
 	ev.canceled = true
+	if ev.index < 0 {
+		return // already popped: nothing queued to account for
+	}
+	e.canceled++
+	if e.canceled > len(e.queue)/2 && len(e.queue) >= compactFloor {
+		e.compact()
+	}
+}
+
+// compact removes every canceled event from the queue and re-heapifies.
+// Ordering of the survivors is unaffected: (when, seq) is a total order,
+// so the heap's pop sequence is a pure function of its member set.
+func (e *Engine) compact() {
+	kept := e.queue[:0]
+	for _, ev := range e.queue {
+		if ev.canceled {
+			ev.index = -1
+			continue
+		}
+		kept = append(kept, ev)
+	}
+	for i := len(kept); i < len(e.queue); i++ {
+		e.queue[i] = nil
+	}
+	e.queue = kept
+	for i, ev := range e.queue {
+		ev.index = i
+	}
+	heap.Init(&e.queue)
+	e.canceled = 0
 }
 
 // Stop requests that Run return after the current event completes.
@@ -152,6 +194,7 @@ func (e *Engine) Run(until Time) Time {
 		}
 		heap.Pop(&e.queue)
 		if ev.canceled {
+			e.canceled--
 			continue
 		}
 		e.now = ev.when

@@ -1,0 +1,82 @@
+package sim
+
+import "testing"
+
+// TestCancelCompactsQueue checks that mass cancellation shrinks the
+// queue eagerly instead of carrying dead events until they surface at
+// the heap top — and that compaction does not perturb the firing order
+// or drop a live event.
+func TestCancelCompactsQueue(t *testing.T) {
+	e := NewEngine()
+	const n = 200
+	events := make([]*Event, n)
+	var fired []int
+	for i := 0; i < n; i++ {
+		i := i
+		events[i] = e.Schedule(float64(i), func() { fired = append(fired, i) })
+	}
+	// Cancel every index not divisible by 4: 150 of 200, well past the
+	// half-queue threshold.
+	for i := 0; i < n; i++ {
+		if i%4 != 0 {
+			e.Cancel(events[i])
+		}
+	}
+	// Compaction keeps the invariant "canceled ≤ half the queue", so the
+	// queue can never exceed twice the live population (it would be the
+	// full 200 without compaction).
+	if live := n / 4; e.Pending() > 2*live {
+		t.Fatalf("Pending = %d after mass cancel, want ≤ %d (twice the %d live events)", e.Pending(), 2*live, live)
+	}
+	e.RunAll()
+	if len(fired) != n/4 {
+		t.Fatalf("%d events fired, want %d", len(fired), n/4)
+	}
+	for j, i := range fired {
+		if i != j*4 {
+			t.Fatalf("firing order broken at %d: got event %d, want %d", j, i, j*4)
+		}
+	}
+}
+
+// TestCancelSmallQueueStaysLazy: below the compaction floor the queue
+// keeps canceled events and drops them lazily at pop, which must still
+// yield the right survivors.
+func TestCancelSmallQueueStaysLazy(t *testing.T) {
+	e := NewEngine()
+	a := e.Schedule(1, func() {})
+	ran := false
+	e.Schedule(2, func() { ran = true })
+	e.Cancel(a)
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2 (tiny queues are not compacted)", e.Pending())
+	}
+	e.RunAll()
+	if !ran {
+		t.Fatal("surviving event did not fire")
+	}
+	if e.Processed() != 1 {
+		t.Fatalf("Processed = %d, want 1 (canceled event must not count)", e.Processed())
+	}
+}
+
+// TestCancelAfterPopIsNoop: canceling an event that already fired (or
+// was already discarded) must not corrupt the canceled-counter
+// bookkeeping that drives compaction.
+func TestCancelAfterPopIsNoop(t *testing.T) {
+	e := NewEngine()
+	ev := e.Schedule(1, func() {})
+	e.RunAll()
+	e.Cancel(ev) // already fired: index < 0, counter must not move
+	e.Cancel(ev) // and double-cancel is equally harmless
+	for i := 0; i < 100; i++ {
+		e.Schedule(float64(i), func() {})
+	}
+	if e.Pending() != 100 {
+		t.Fatalf("Pending = %d, want 100", e.Pending())
+	}
+	e.RunAll()
+	if e.Processed() != 101 {
+		t.Fatalf("Processed = %d, want 101", e.Processed())
+	}
+}

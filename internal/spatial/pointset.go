@@ -1,0 +1,95 @@
+package spatial
+
+import (
+	"fmt"
+	"math"
+
+	"ecgrid/internal/geom"
+)
+
+// PointSet is an exact (slack-free) spatial hash over immobile points —
+// in the radio channel it holds the origin of every in-flight
+// transmission so carrier sense asks "is anything radiating within
+// range of p?" against the local cells only. Points never move between
+// Add and Remove, so they are bucketed by their exact coordinates and
+// queries need no staleness margin beyond the float-slop guard.
+type PointSet struct {
+	side  float64
+	cells map[cellKey][]anchored
+	n     int
+}
+
+type anchored struct {
+	id uint64
+	at geom.Point
+}
+
+// NewPointSet creates a set with the given cell side in meters.
+func NewPointSet(side float64) *PointSet {
+	if side <= 0 {
+		panic(fmt.Sprintf("spatial: invalid point-set cell side %v", side))
+	}
+	return &PointSet{side: side, cells: make(map[cellKey][]anchored)}
+}
+
+// Len returns the number of stored points.
+func (ps *PointSet) Len() int { return ps.n }
+
+func (ps *PointSet) keyOf(p geom.Point) cellKey {
+	return cellKey{
+		int32(math.Floor(p.X / ps.side)),
+		int32(math.Floor(p.Y / ps.side)),
+	}
+}
+
+// Add stores a point under the caller's id. The same id must not be
+// live twice.
+func (ps *PointSet) Add(id uint64, at geom.Point) {
+	k := ps.keyOf(at)
+	ps.cells[k] = append(ps.cells[k], anchored{id: id, at: at})
+	ps.n++
+}
+
+// Remove deletes the point previously added under id at the identical
+// coordinates. Removing a point that was never added panics: it means
+// the caller's bookkeeping diverged from the set's.
+func (ps *PointSet) Remove(id uint64, at geom.Point) {
+	k := ps.keyOf(at)
+	bucket := ps.cells[k]
+	for i := range bucket {
+		if bucket[i].id == id {
+			bucket[i] = bucket[len(bucket)-1]
+			ps.cells[k] = bucket[:len(bucket)-1]
+			ps.n--
+			return
+		}
+	}
+	panic(fmt.Sprintf("spatial: point %d missing from its cell", id))
+}
+
+// AnyWithin reports whether any stored point lies within radius of p
+// (boundary inclusive, matching the channel's closed range check). The
+// scan covers only the cells overlapping the query square; each
+// candidate is confirmed with the exact squared distance, so the answer
+// is identical to a linear scan over every stored point.
+func (ps *PointSet) AnyWithin(p geom.Point, radius float64) bool {
+	if ps.n == 0 {
+		return false
+	}
+	reach := radius + slackGuard
+	cx0 := int32(math.Floor((p.X - reach) / ps.side))
+	cx1 := int32(math.Floor((p.X + reach) / ps.side))
+	cy0 := int32(math.Floor((p.Y - reach) / ps.side))
+	cy1 := int32(math.Floor((p.Y + reach) / ps.side))
+	r2 := radius * radius
+	for cy := cy0; cy <= cy1; cy++ {
+		for cx := cx0; cx <= cx1; cx++ {
+			for _, a := range ps.cells[cellKey{cx, cy}] {
+				if a.at.Dist2(p) <= r2 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
