@@ -1,0 +1,86 @@
+// Command benchgate fails CI when a benchmark's allocations regress
+// past the recorded budget. It reads `go test -bench -benchmem` output
+// on stdin, extracts one benchmark's allocs/op, and compares it
+// against the "after" number recorded in a BENCH_*.json ledger, with a
+// relative slack for machine noise.
+//
+// Usage (the CI bench job):
+//
+//	go test -bench BenchmarkFig8a -benchtime 1x -benchmem -run '^$' . |
+//	    go run ./cmd/benchgate -bench BenchmarkFig8a -budget BENCH_5.json
+//
+// allocs/op is the gated metric on purpose: unlike ns/op it is exactly
+// reproducible across runners, so a 10% slack catches a real
+// regression (a lost pool, a new per-event closure) without flaking.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	var (
+		bench  = flag.String("bench", "BenchmarkFig8a", "benchmark name to gate")
+		budget = flag.String("budget", "BENCH_5.json", "benchmark ledger with the allocs/op budget")
+		slack  = flag.Float64("slack", 0.10, "allowed relative regression over the budget")
+	)
+	flag.Parse()
+
+	want, err := loadBudget(*budget, *bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	input, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	os.Stdout.Write(input) // keep the benchmark output visible in the CI log
+	got, err := parseAllocs(string(input), *bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	limit := int64(float64(want) * (1 + *slack))
+	if got > limit {
+		fmt.Fprintf(os.Stderr, "benchgate: %s allocated %d allocs/op, budget %d (+%.0f%% slack = %d)\n",
+			*bench, got, want, *slack*100, limit)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %s at %d allocs/op, within budget %d (+%.0f%% slack = %d)\n",
+		*bench, got, want, *slack*100, limit)
+}
+
+// ledger mirrors the slice of BENCH_*.json that the gate needs.
+type ledger struct {
+	Benchmarks map[string]struct {
+		After struct {
+			AllocsOp int64 `json:"allocs_op"`
+		} `json:"after"`
+	} `json:"benchmarks"`
+}
+
+// loadBudget returns the recorded "after" allocs/op for bench.
+func loadBudget(path, bench string) (int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var l ledger
+	if err := json.Unmarshal(data, &l); err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	b, ok := l.Benchmarks[bench]
+	if !ok {
+		return 0, fmt.Errorf("%s: no benchmark %q in ledger", path, bench)
+	}
+	if b.After.AllocsOp <= 0 {
+		return 0, fmt.Errorf("%s: benchmark %q has no allocs_op budget", path, bench)
+	}
+	return b.After.AllocsOp, nil
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: ecgrid
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig8a-8   	       1	3569090224 ns/op	277689960 B/op	 5829015 allocs/op
+BenchmarkFig8b-8   	       1	5808052109 ns/op	471706384 B/op	 8389619 allocs/op
+PASS
+ok  	ecgrid	9.456s
+`
+
+func TestParseAllocs(t *testing.T) {
+	got, err := parseAllocs(sample, "BenchmarkFig8a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5829015 {
+		t.Fatalf("allocs = %d, want 5829015", got)
+	}
+	// The -8 GOMAXPROCS suffix must not let Fig8a match Fig8b.
+	if got, _ := parseAllocs(sample, "BenchmarkFig8b"); got != 8389619 {
+		t.Fatalf("Fig8b allocs = %d, want 8389619", got)
+	}
+}
+
+func TestParseAllocsMissingBenchmark(t *testing.T) {
+	if _, err := parseAllocs(sample, "BenchmarkFig4a"); err == nil {
+		t.Fatal("missing benchmark did not error")
+	}
+}
+
+func TestParseAllocsNoBenchmem(t *testing.T) {
+	if _, err := parseAllocs("BenchmarkFig8a-8 1 3569090224 ns/op\n", "BenchmarkFig8a"); err == nil {
+		t.Fatal("missing allocs/op column did not error")
+	}
+}
+
+func TestLoadBudget(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(`{
+		"benchmarks": {
+			"BenchmarkFig8a": {
+				"before": {"allocs_op": 5829015},
+				"after":  {"allocs_op": 2000000}
+			}
+		}
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadBudget(path, "BenchmarkFig8a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2000000 {
+		t.Fatalf("budget = %d, want 2000000", got)
+	}
+	if _, err := loadBudget(path, "BenchmarkFig4a"); err == nil {
+		t.Fatal("unknown benchmark did not error")
+	}
+	if _, err := loadBudget(filepath.Join(t.TempDir(), "nope.json"), "BenchmarkFig8a"); err == nil {
+		t.Fatal("missing ledger did not error")
+	}
+}

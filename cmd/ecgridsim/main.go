@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"ecgrid/internal/faults"
+	"ecgrid/internal/prof"
 	"ecgrid/internal/runner"
 	"ecgrid/internal/scenario"
 	"ecgrid/internal/trace"
@@ -41,6 +42,8 @@ func main() {
 		savePath = flag.String("save", "", "write the resulting scenario to a JSON file and exit")
 		faultArg = flag.String("faults", "",
 			"inject faults: a preset ("+strings.Join(faults.PresetNames(), ", ")+") or a plan JSON file")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -88,6 +91,16 @@ func main() {
 		cfg.Trace = rec
 	}
 
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
+	// A run is one uninterruptible call, so profiles on ^C need a
+	// handler of their own.
+	prof.StopOnInterrupt(stopProf)
+
 	r := runner.Run(cfg)
 
 	fmt.Printf("scenario        %v\n", cfg)
@@ -128,6 +141,7 @@ func main() {
 		fmt.Printf("\nlast %d on-air events (%s):\n", rec.Len(), rec.Summarize())
 		if err := trace.Write(os.Stdout, rec.Entries()); err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			stopProf() // os.Exit skips the defer
 			os.Exit(1)
 		}
 	}

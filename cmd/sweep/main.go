@@ -29,6 +29,7 @@ import (
 
 	"ecgrid/internal/batch"
 	"ecgrid/internal/faults"
+	"ecgrid/internal/prof"
 	"ecgrid/internal/scenario"
 )
 
@@ -45,6 +46,8 @@ func main() {
 		retries   = flag.Int("retries", 0, "extra attempts for a failed run")
 		faultArg  = flag.String("faults", "",
 			"inject a fault plan into every run: a preset ("+strings.Join(faults.PresetNames(), ", ")+") or a plan JSON file")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -143,6 +146,16 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Profiling starts once the sweep is validated and about to run.
+	// SIGINT cancels the batch context and unwinds through here, so the
+	// deferred stop covers both clean exits and interrupted ones.
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
+
 	results, sum := batch.Run(ctx, jobs, opt)
 
 	fmt.Printf("protocol,%s,delivery_rate,mean_latency_ms,first_death_s,alive_end,aen_end\n", *param)
@@ -162,6 +175,7 @@ func main() {
 	}
 	if err := sum.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		stopProf() // os.Exit skips the defer
 		os.Exit(1)
 	}
 }

@@ -116,11 +116,7 @@ func (p *Protocol) sendRREQ(d *discoveryState) {
 	// Mark our own request as seen so our rebroadcast logic ignores it.
 	p.dup.Seen(req.Src, req.BcastID, p.host.Now())
 	p.Stats.RREQsSent++
-	p.host.Send(&radio.Frame{
-		Kind: "rreq", Dst: hostid.Broadcast,
-		Bytes:   routing.RREQBytes + radio.MACHeaderBytes,
-		Payload: req,
-	})
+	p.host.SendFrame("rreq", hostid.Broadcast, routing.RREQBytes+radio.MACHeaderBytes, req)
 	d.timer.Reset(p.opt.DiscoveryTimeout)
 }
 
@@ -223,11 +219,7 @@ func (p *Protocol) handleRREQ(m *routing.RREQ) {
 	fwd.PrevGrid = p.myGrid
 	fwd.Hops = m.Hops + 1
 	p.Stats.RREQsSent++
-	p.host.Send(&radio.Frame{
-		Kind: "rreq", Dst: hostid.Broadcast,
-		Bytes:   routing.RREQBytes + radio.MACHeaderBytes,
-		Payload: &fwd,
-	})
+	p.host.SendFrame("rreq", hostid.Broadcast, routing.RREQBytes+radio.MACHeaderBytes, &fwd)
 }
 
 // replyRREP unicasts a reply back along the reverse path.

@@ -138,11 +138,7 @@ func (p *Protocol) abdicateTo(to hostid.ID) {
 		Routes: p.table.Snapshot(p.host.Now()),
 		Hosts:  p.hosts.Snapshot(),
 	}
-	p.host.Send(&radio.Frame{
-		Kind: "transfer", Dst: to,
-		Bytes:   tr.SizeBytes() + radio.MACHeaderBytes,
-		Payload: tr,
-	})
+	p.host.SendFrame("transfer", to, tr.SizeBytes()+radio.MACHeaderBytes, tr)
 	p.role = roleMember
 	p.gatewayID = to
 	p.lastGWHello = p.host.Now()

@@ -1,7 +1,8 @@
 package core
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"ecgrid/internal/grid"
 	"ecgrid/internal/hostid"
@@ -30,11 +31,8 @@ func (p *Protocol) handleData(m *routing.Data) {
 		// sender still believes we are this grid's gateway). Hand it
 		// to the real gateway rather than dropping it.
 		if p.gatewayFresh() {
-			p.host.Send(&radio.Frame{
-				Kind: "data", Dst: p.gatewayID,
-				Bytes:   pkt.Bytes + routing.DataHeader + radio.MACHeaderBytes,
-				Payload: &routing.Data{Packet: pkt, TargetGrid: p.host.Cell(), DestGrid: m.DestGrid, HasDest: m.HasDest},
-			})
+			p.host.SendFrame("data", p.gatewayID,
+				pkt.Bytes+routing.DataHeader+radio.MACHeaderBytes, &routing.Data{Packet: pkt, TargetGrid: p.host.Cell(), DestGrid: m.DestGrid, HasDest: m.HasDest})
 			return
 		}
 		p.Stats.DataDropped++
@@ -86,11 +84,7 @@ func (p *Protocol) routeData(m *routing.Data) {
 			p.table.Touch(pkt.Src, now) // keep the reverse path alive too
 			p.Stats.DataForwarded++
 			fwd := &routing.Data{Packet: pkt, TargetGrid: e.NextGrid, DestGrid: e.DestGrid, HasDest: true}
-			p.host.Send(&radio.Frame{
-				Kind: "data", Dst: gw,
-				Bytes:   pkt.Bytes + routing.DataHeader + radio.MACHeaderBytes,
-				Payload: fwd,
-			})
+			p.host.SendFrame("data", gw, pkt.Bytes+routing.DataHeader+radio.MACHeaderBytes, fwd)
 			return
 		}
 		// The next grid has no (known) gateway right now. Routes are
@@ -129,11 +123,7 @@ func (p *Protocol) routeData(m *routing.Data) {
 		if gw, next, ok := p.greedyNeighbor(m.DestGrid); ok {
 			p.Stats.DataForwarded++
 			fwd := &routing.Data{Packet: pkt, TargetGrid: next, DestGrid: m.DestGrid, HasDest: true}
-			p.host.Send(&radio.Frame{
-				Kind: "data", Dst: gw,
-				Bytes:   pkt.Bytes + routing.DataHeader + radio.MACHeaderBytes,
-				Payload: fwd,
-			})
+			p.host.SendFrame("data", gw, pkt.Bytes+routing.DataHeader+radio.MACHeaderBytes, fwd)
 			return
 		}
 	}
@@ -155,17 +145,21 @@ func (p *Protocol) routeData(m *routing.Data) {
 
 // sortedNeighborCells returns the neighbor-table keys sorted by (X, Y),
 // so hot-path decisions iterate the table in an order independent of
-// Go's per-process map hash.
+// Go's per-process map hash. The returned slice is a per-protocol
+// scratch buffer, valid until the next call.
 func (p *Protocol) sortedNeighborCells() []grid.Coord {
-	cells := make([]grid.Coord, 0, len(p.neighbors))
+	cells := p.cellScratch[:0]
 	//simlint:ordered keys are sorted immediately below
 	for c := range p.neighbors {
 		cells = append(cells, c)
 	}
-	sort.Slice(cells, func(i, j int) bool {
-		a, b := cells[i], cells[j]
-		return a.X < b.X || (a.X == b.X && a.Y < b.Y)
+	slices.SortFunc(cells, func(a, b grid.Coord) int {
+		if a.X != b.X {
+			return cmp.Compare(a.X, b.X)
+		}
+		return cmp.Compare(a.Y, b.Y)
 	})
+	p.cellScratch = cells
 	return cells
 }
 

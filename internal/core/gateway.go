@@ -79,11 +79,8 @@ func (p *Protocol) retire(cell grid.Coord, reason string) {
 				ID: p.host.ID(), Status: routing.HostActive, LastSeen: p.host.Now(),
 			})
 		}
-		p.host.Send(&radio.Frame{
-			Kind: "retire", Dst: hostid.Broadcast,
-			Bytes:   retireMsg.SizeBytes() + radio.MACHeaderBytes,
-			Payload: retireMsg,
-		})
+		p.host.SendFrame("retire", hostid.Broadcast,
+			retireMsg.SizeBytes()+radio.MACHeaderBytes, retireMsg)
 		// If we retired in place (load balance / exhaustion) we also
 		// take part in the successor election as a regular member.
 		if p.host.Cell() == cell {
@@ -164,11 +161,8 @@ func (p *Protocol) flushBuffer(dst hostid.ID) {
 // grid.
 func (p *Protocol) sendDataToLocal(dst hostid.ID, pkt *routing.DataPacket) {
 	p.Stats.DataForwarded++
-	p.host.Send(&radio.Frame{
-		Kind: "data", Dst: dst,
-		Bytes:   pkt.Bytes + routing.DataHeader + radio.MACHeaderBytes,
-		Payload: &routing.Data{Packet: pkt, TargetGrid: p.myGrid},
-	})
+	p.host.SendFrame("data", dst,
+		pkt.Bytes+routing.DataHeader+radio.MACHeaderBytes, &routing.Data{Packet: pkt, TargetGrid: p.myGrid})
 }
 
 // deliverLocal moves a packet the last hop inside the grid: directly if
@@ -234,8 +228,8 @@ func (p *Protocol) deliverLocal(dst hostid.ID, pkt *routing.DataPacket) {
 func (p *Protocol) sendToGrid(target grid.Coord, kind string, bytes int, payload any) {
 	now := p.host.Now()
 	if gw, ok := p.neighbors[target]; ok && now-gw.seen <= p.opt.NeighborGWTTL {
-		p.host.Send(&radio.Frame{Kind: kind, Dst: gw.id, Bytes: bytes, Payload: payload})
+		p.host.SendFrame(kind, gw.id, bytes, payload)
 		return
 	}
-	p.host.Send(&radio.Frame{Kind: kind, Dst: hostid.Broadcast, Bytes: bytes, Payload: payload})
+	p.host.SendFrame(kind, hostid.Broadcast, bytes, payload)
 }

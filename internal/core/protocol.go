@@ -69,6 +69,7 @@ type Protocol struct {
 	helloTicker *sim.Ticker
 	seqNo       uint32
 	bcastID     uint32
+	cellScratch []grid.Coord // sortedNeighborCells reuse
 
 	// --- election ---
 	electing      bool
@@ -344,11 +345,7 @@ func (p *Protocol) sendHello() {
 		Dist:  p.host.DistToCellCenter(),
 	}
 	p.Stats.HellosSent++
-	p.host.Send(&radio.Frame{
-		Kind: "hello", Dst: hostid.Broadcast,
-		Bytes:   routing.HelloBytes + radio.MACHeaderBytes,
-		Payload: h,
-	})
+	p.host.SendFrame("hello", hostid.Broadcast, routing.HelloBytes+radio.MACHeaderBytes, h)
 }
 
 func (p *Protocol) handleHello(m *routing.Hello) {
@@ -361,8 +358,14 @@ func (p *Protocol) handleHello(m *routing.Hello) {
 		}
 		return
 	}
-	// Same grid: record for elections.
-	p.heard[m.ID] = &helloInfo{id: m.ID, level: energy.Level(m.Level), dist: m.Dist, gflag: m.GFlag, at: now}
+	// Same grid: record for elections, updating the existing entry in
+	// place — neighbors re-HELLO every period, so the steady state is an
+	// overwrite, not an insert.
+	if hi := p.heard[m.ID]; hi != nil {
+		hi.level, hi.dist, hi.gflag, hi.at = energy.Level(m.Level), m.Dist, m.GFlag, now
+	} else {
+		p.heard[m.ID] = &helloInfo{id: m.ID, level: energy.Level(m.Level), dist: m.Dist, gflag: m.GFlag, at: now}
+	}
 
 	if m.GFlag {
 		p.sawGatewayHello(m, now)
@@ -530,22 +533,16 @@ func (p *Protocol) dwellExpired() {
 // sendSleepNotice broadcasts a tiny status update; the gateway marks us
 // sleeping.
 func (p *Protocol) sendSleepNotice() {
-	p.host.Send(&radio.Frame{
-		Kind: "sleep", Dst: hostid.Broadcast,
-		Bytes:   routing.AwakeBytes + radio.MACHeaderBytes,
-		Payload: &routing.ACQ{Grid: p.host.Cell(), Src: p.host.ID(), Dst: sleepMarker},
-	})
+	p.host.SendFrame("sleep", hostid.Broadcast,
+		routing.AwakeBytes+radio.MACHeaderBytes, &routing.ACQ{Grid: p.host.Cell(), Src: p.host.ID(), Dst: sleepMarker})
 }
 
 // sendAwake broadcasts an awake notice; the gateway marks us active and
 // flushes buffered packets.
 func (p *Protocol) sendAwake() {
 	p.Stats.ACQsSent++
-	p.host.Send(&radio.Frame{
-		Kind: "awake", Dst: hostid.Broadcast,
-		Bytes:   routing.AwakeBytes + radio.MACHeaderBytes,
-		Payload: &routing.ACQ{Grid: p.host.Cell(), Src: p.host.ID(), Dst: hostid.None},
-	})
+	p.host.SendFrame("awake", hostid.Broadcast,
+		routing.AwakeBytes+radio.MACHeaderBytes, &routing.ACQ{Grid: p.host.Cell(), Src: p.host.ID(), Dst: hostid.None})
 }
 
 // sleepMarker distinguishes a sleep notice from an awake notice in the
@@ -565,11 +562,8 @@ func (p *Protocol) sendACQ() {
 		dst = p.pendingOut[0].Dst
 	}
 	p.Stats.ACQsSent++
-	p.host.Send(&radio.Frame{
-		Kind: "acq", Dst: hostid.Broadcast,
-		Bytes:   routing.ACQBytes + radio.MACHeaderBytes,
-		Payload: &routing.ACQ{Grid: p.host.Cell(), Src: p.host.ID(), Dst: dst},
-	})
+	p.host.SendFrame("acq", hostid.Broadcast,
+		routing.ACQBytes+radio.MACHeaderBytes, &routing.ACQ{Grid: p.host.Cell(), Src: p.host.ID(), Dst: dst})
 	p.acqTimer.Reset(p.opt.AcqTimeout)
 }
 
@@ -616,11 +610,8 @@ func (p *Protocol) drainPending() {
 	}
 	p.acqTimer.Stop()
 	for _, pkt := range p.pendingOut {
-		p.host.Send(&radio.Frame{
-			Kind: "data", Dst: p.gatewayID,
-			Bytes:   pkt.Bytes + routing.DataHeader + radio.MACHeaderBytes,
-			Payload: &routing.Data{Packet: pkt, TargetGrid: p.host.Cell()},
-		})
+		p.host.SendFrame("data", p.gatewayID,
+			pkt.Bytes+routing.DataHeader+radio.MACHeaderBytes, &routing.Data{Packet: pkt, TargetGrid: p.host.Cell()})
 	}
 	p.pendingOut = nil
 	p.touchActivity()
@@ -671,11 +662,8 @@ func (p *Protocol) gwWaitExpired() {
 // the stub.
 func (p *Protocol) sendLeave(oldCell grid.Coord) {
 	p.Stats.LeavesSent++
-	p.host.Send(&radio.Frame{
-		Kind: "leave", Dst: hostid.Broadcast,
-		Bytes:   routing.LeaveBytes + radio.MACHeaderBytes,
-		Payload: &routing.Leave{ID: p.host.ID(), Grid: oldCell, NewGrid: p.host.Cell()},
-	})
+	p.host.SendFrame("leave", hostid.Broadcast,
+		routing.LeaveBytes+radio.MACHeaderBytes, &routing.Leave{ID: p.host.ID(), Grid: oldCell, NewGrid: p.host.Cell()})
 }
 
 // handleLeave removes the departed member and installs §3.4's forwarding

@@ -89,9 +89,15 @@ type Host struct {
 	// reports (fault injection). The radio keeps using the true position.
 	gpsNoise func(t float64) (dx, dy float64)
 
-	cellEv   *sim.Event // pending cell-change event
-	deathEv  *sim.Event // pending death-check event
+	cellEv   sim.Handle // pending cell-change event
+	deathEv  sim.Handle // pending death-check event
 	lastCell grid.Coord
+
+	// cellFn/deathFn are the timer callbacks bound once at construction;
+	// re-arming them reuses the queued event (or a pooled one) without
+	// allocating a closure per cycle.
+	cellFn  func()
+	deathFn func()
 
 	// Position memo: mobility is a pure function of time, and the radio
 	// path asks for the same host's position many times within one event
@@ -137,6 +143,8 @@ func New(cfg Config) *Host {
 		mob:       cfg.Mobility,
 		battery:   cfg.Battery,
 	}
+	h.cellFn = h.cellChanged
+	h.deathFn = h.checkDeath
 	h.lastCell = h.Cell()
 	h.channel.Attach(h)
 	h.attachSwitch()
@@ -279,6 +287,20 @@ func (h *Host) Send(f *radio.Frame) {
 	h.channel.Send(h.id, f)
 }
 
+// SendFrame builds a frame from the channel's pool and transmits it —
+// the allocation-free equivalent of Send(&radio.Frame{...}). The channel
+// reclaims the frame struct when it is done with the air; the payload is
+// untouched and may be shared or retained by receivers.
+func (h *Host) SendFrame(kind string, dst hostid.ID, bytes int, payload any) {
+	if h.dead || h.crashed {
+		return
+	}
+	if h.asleep {
+		panic(fmt.Sprintf("node: %v sent %s while asleep", h.id, kind))
+	}
+	h.channel.Send(h.id, h.channel.NewFrame(kind, h.id, dst, bytes, payload))
+}
+
 // Deliver implements radio.Endpoint: frames go to the protocol.
 func (h *Host) Deliver(f *radio.Frame) {
 	if h.dead || h.crashed {
@@ -358,15 +380,13 @@ func (h *Host) wake(cause WakeCause) {
 // --- cell-change tracking --------------------------------------------------
 
 func (h *Host) cancelCellChange() {
-	if h.cellEv != nil {
-		h.engine.Cancel(h.cellEv)
-		h.cellEv = nil
-	}
+	h.engine.Cancel(h.cellEv)
+	h.cellEv = sim.Handle{}
 }
 
 func (h *Host) scheduleCellChange() {
-	h.cancelCellChange()
 	if h.dead || h.asleep {
+		h.cancelCellChange()
 		return
 	}
 	const horizon = 3600.0
@@ -377,19 +397,24 @@ func (h *Host) scheduleCellChange() {
 	} else {
 		delay = next - h.engine.Now()
 	}
-	h.cellEv = h.engine.Schedule(delay, func() {
-		h.cellEv = nil
-		if h.dead || h.asleep {
-			return
-		}
-		old := h.lastCell
-		cur := h.Cell()
-		h.lastCell = cur
-		h.scheduleCellChange()
-		if cur != old {
-			h.protocol.CellChanged(old, cur)
-		}
-	})
+	if h.engine.Reschedule(h.cellEv, delay) {
+		return
+	}
+	h.cellEv = h.engine.Schedule(delay, h.cellFn)
+}
+
+func (h *Host) cellChanged() {
+	h.cellEv = sim.Handle{}
+	if h.dead || h.asleep {
+		return
+	}
+	old := h.lastCell
+	cur := h.Cell()
+	h.lastCell = cur
+	h.scheduleCellChange()
+	if cur != old {
+		h.protocol.CellChanged(old, cur)
+	}
 }
 
 // --- death -----------------------------------------------------------------
@@ -403,9 +428,6 @@ func (h *Host) scheduleDeathCheck() {
 	if h.dead || h.battery.IsInfinite() {
 		return
 	}
-	if h.deathEv != nil {
-		h.engine.Cancel(h.deathEv)
-	}
 	now := h.engine.Now()
 	eta := h.battery.TimeToEmpty(now, h.battery.Mode())
 	delay := eta
@@ -415,11 +437,14 @@ func (h *Host) scheduleDeathCheck() {
 	if delay < 1e-9 {
 		delay = 1e-9
 	}
-	h.deathEv = h.engine.Schedule(delay, h.checkDeath)
+	if h.engine.Reschedule(h.deathEv, delay) {
+		return
+	}
+	h.deathEv = h.engine.Schedule(delay, h.deathFn)
 }
 
 func (h *Host) checkDeath() {
-	h.deathEv = nil
+	h.deathEv = sim.Handle{}
 	if h.dead {
 		return
 	}
@@ -458,10 +483,8 @@ func (h *Host) Crash() {
 	h.crashed = true
 	h.asleep = false
 	h.cancelCellChange()
-	if h.deathEv != nil {
-		h.engine.Cancel(h.deathEv)
-		h.deathEv = nil
-	}
+	h.engine.Cancel(h.deathEv)
+	h.deathEv = sim.Handle{}
 	h.channel.Detach(h.id)
 	if h.bus != nil {
 		h.bus.Detach(h.id)

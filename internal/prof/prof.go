@@ -1,0 +1,78 @@
+// Package prof attaches the standard runtime/pprof CPU and heap
+// profilers to a command-line run. Commands pass their
+// -cpuprofile/-memprofile flag values to Start; the returned stop
+// function is idempotent, so it is safe to both defer it and hand it
+// to a signal handler — profiles get written on clean exit and on
+// SIGINT alike.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+	"syscall"
+)
+
+// Start begins CPU profiling into cpuPath (if non-empty) and arranges
+// for an allocation profile to be written to memPath (if non-empty)
+// when the returned stop function runs. Empty paths disable the
+// corresponding profile; with both empty, stop is a no-op. Profile
+// write failures at stop time are reported on stderr rather than
+// returned — by then the command's real work is already done.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	var once sync.Once
+	stop = func() {
+		once.Do(func() {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				if err := cpuFile.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+				}
+			}
+			if memPath != "" {
+				f, err := os.Create(memPath)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "memprofile:", err)
+					return
+				}
+				runtime.GC() // settle the live set so the heap numbers are current
+				if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+					fmt.Fprintln(os.Stderr, "memprofile:", err)
+				}
+				if err := f.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "memprofile:", err)
+				}
+			}
+		})
+	}
+	return stop, nil
+}
+
+// StopOnInterrupt flushes profiles and exits when the process receives
+// SIGINT or SIGTERM. For commands whose main loop is not otherwise
+// interruptible (ecgridsim blocks inside one simulation run). Commands
+// with their own signal handling — sweep cancels a batch context and
+// unwinds normally — should rely on their deferred stop instead.
+func StopOnInterrupt(stop func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ch
+		stop()
+		os.Exit(130) // 128 + SIGINT, the conventional interrupted-exit code
+	}()
+}

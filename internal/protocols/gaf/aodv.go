@@ -47,11 +47,8 @@ func (p *Protocol) deliver(pkt *routing.DataPacket) {
 
 func (p *Protocol) forwardData(nextHop hostid.ID, pkt *routing.DataPacket) {
 	p.Stats.DataForwarded++
-	p.host.Send(&radio.Frame{
-		Kind: "data", Dst: nextHop,
-		Bytes:   pkt.Bytes + routing.DataHeader + radio.MACHeaderBytes,
-		Payload: &routing.Data{Packet: pkt},
-	})
+	p.host.SendFrame("data", nextHop,
+		pkt.Bytes+routing.DataHeader+radio.MACHeaderBytes, &routing.Data{Packet: pkt})
 }
 
 // startDiscovery floods an AODV RREQ for dst.
@@ -83,11 +80,7 @@ func (p *Protocol) sendRREQ(dst hostid.ID, d *pendingDiscovery) {
 	}
 	p.dup.Seen(req.Src, req.BcastID, p.host.Now())
 	p.Stats.RREQsSent++
-	p.host.Send(&radio.Frame{
-		Kind: "rreq", Dst: hostid.Broadcast,
-		Bytes:   routing.RREQBytes + radio.MACHeaderBytes,
-		Payload: req,
-	})
+	p.host.SendFrame("rreq", hostid.Broadcast, routing.RREQBytes+radio.MACHeaderBytes, req)
 	d.timer.Reset(p.opt.DiscoveryTimeout)
 }
 
@@ -160,20 +153,12 @@ func (p *Protocol) handleRREQ(m *routing.AODVRREQ) {
 	fwd.PrevHop = p.host.ID()
 	fwd.Hops = m.Hops + 1
 	p.Stats.RREQsSent++
-	p.host.Send(&radio.Frame{
-		Kind: "rreq", Dst: hostid.Broadcast,
-		Bytes:   routing.RREQBytes + radio.MACHeaderBytes,
-		Payload: &fwd,
-	})
+	p.host.SendFrame("rreq", hostid.Broadcast, routing.RREQBytes+radio.MACHeaderBytes, &fwd)
 }
 
 func (p *Protocol) sendRREP(rep *routing.AODVRREP) {
 	p.Stats.RREPsSent++
-	p.host.Send(&radio.Frame{
-		Kind: "rrep", Dst: rep.To,
-		Bytes:   routing.RREPBytes + radio.MACHeaderBytes,
-		Payload: rep,
-	})
+	p.host.SendFrame("rrep", rep.To, routing.RREPBytes+radio.MACHeaderBytes, rep)
 }
 
 // handleRREP installs the forward route — next hop is whoever
@@ -234,11 +219,8 @@ func (p *Protocol) TxFailed(f *radio.Frame) {
 	p.Stats.DataDropped++
 	if rev, ok := p.table.Lookup(pkt.Src, p.host.Now()); ok {
 		p.Stats.RERRsSent++
-		p.host.Send(&radio.Frame{
-			Kind: "rerr", Dst: rev.NextHop,
-			Bytes:   routing.RERRBytes + radio.MACHeaderBytes,
-			Payload: &routing.RERR{Dst: pkt.Dst},
-		})
+		p.host.SendFrame("rerr", rev.NextHop,
+			routing.RERRBytes+radio.MACHeaderBytes, &routing.RERR{Dst: pkt.Dst})
 	}
 }
 
@@ -275,10 +257,7 @@ func (p *Protocol) handleData(m *routing.Data) {
 	p.Stats.DataDropped++
 	if rev, ok := p.table.Lookup(pkt.Src, now); ok {
 		p.Stats.RERRsSent++
-		p.host.Send(&radio.Frame{
-			Kind: "rerr", Dst: rev.NextHop,
-			Bytes:   routing.RERRBytes + radio.MACHeaderBytes,
-			Payload: &routing.RERR{Dst: pkt.Dst},
-		})
+		p.host.SendFrame("rerr", rev.NextHop,
+			routing.RERRBytes+radio.MACHeaderBytes, &routing.RERR{Dst: pkt.Dst})
 	}
 }

@@ -312,16 +312,13 @@ func (p *Protocol) announce() {
 
 func (p *Protocol) broadcastDiscovery(st state) {
 	p.Stats.DiscoveriesSent++
-	p.host.Send(&radio.Frame{
-		Kind: "gaf-disc", Dst: hostid.Broadcast,
-		Bytes: routing.DiscoveryByte + radio.MACHeaderBytes,
-		Payload: &routing.Discovery{
+	p.host.SendFrame("gaf-disc", hostid.Broadcast,
+		routing.DiscoveryByte+radio.MACHeaderBytes, &routing.Discovery{
 			ID:    p.host.ID(),
 			Grid:  p.host.Cell(),
 			State: int(st),
 			Enat:  p.enat(),
-		},
-	})
+		})
 }
 
 // stateExpired advances the state machine.

@@ -55,11 +55,8 @@ func (p *Protocol) forwardData(nextHop hostid.ID, pkt *routing.DataPacket) {
 		return
 	}
 	p.Stats.DataForwarded++
-	p.host.Send(&radio.Frame{
-		Kind: "data", Dst: nextHop,
-		Bytes:   pkt.Bytes + routing.DataHeader + radio.MACHeaderBytes,
-		Payload: &routing.Data{Packet: pkt},
-	})
+	p.host.SendFrame("data", nextHop,
+		pkt.Bytes+routing.DataHeader+radio.MACHeaderBytes, &routing.Data{Packet: pkt})
 }
 
 // flushTo sends everything buffered for a host that just proved awake.
@@ -70,11 +67,8 @@ func (p *Protocol) flushTo(dst hostid.ID) {
 	pkts := p.buffer.PopAll(dst)
 	for _, pkt := range pkts {
 		p.Stats.DataForwarded++
-		p.host.Send(&radio.Frame{
-			Kind: "data", Dst: dst,
-			Bytes:   pkt.Bytes + routing.DataHeader + radio.MACHeaderBytes,
-			Payload: &routing.Data{Packet: pkt},
-		})
+		p.host.SendFrame("data", dst,
+			pkt.Bytes+routing.DataHeader+radio.MACHeaderBytes, &routing.Data{Packet: pkt})
 	}
 }
 
@@ -100,11 +94,7 @@ func (p *Protocol) sendRREQ(dst hostid.ID, d *pendingDiscovery) {
 	}
 	p.dup.Seen(req.Src, req.BcastID, p.host.Now())
 	p.Stats.RREQsSent++
-	p.host.Send(&radio.Frame{
-		Kind: "rreq", Dst: hostid.Broadcast,
-		Bytes:   routing.RREQBytes + radio.MACHeaderBytes,
-		Payload: req,
-	})
+	p.host.SendFrame("rreq", hostid.Broadcast, routing.RREQBytes+radio.MACHeaderBytes, req)
 	d.timer.Reset(p.opt.DiscoveryTimeout)
 }
 
@@ -176,11 +166,8 @@ func (p *Protocol) handleRREQ(m *routing.AODVRREQ) {
 		if n, ok := p.neighbors[m.Dst]; ok && now-n.seen <= p.opt.NeighborTTL {
 			p.seqNo++
 			p.Stats.RREPsSent++
-			p.host.Send(&radio.Frame{
-				Kind: "rrep", Dst: m.PrevHop,
-				Bytes:   routing.RREPBytes + radio.MACHeaderBytes,
-				Payload: &routing.AODVRREP{Src: m.Src, Dst: m.Dst, DstSeq: p.seqNo, Hops: 1, To: m.PrevHop},
-			})
+			p.host.SendFrame("rrep", m.PrevHop,
+				routing.RREPBytes+radio.MACHeaderBytes, &routing.AODVRREP{Src: m.Src, Dst: m.Dst, DstSeq: p.seqNo, Hops: 1, To: m.PrevHop})
 			// Our own next hop for the destination is the destination
 			// itself.
 			p.table.Update(routing.AODVEntry{Dst: m.Dst, NextHop: m.Dst, Seq: p.seqNo, Hops: 1}, now)
@@ -195,20 +182,12 @@ func (p *Protocol) handleRREQ(m *routing.AODVRREQ) {
 	fwd.PrevHop = p.host.ID()
 	fwd.Hops = m.Hops + 1
 	p.Stats.RREQsSent++
-	p.host.Send(&radio.Frame{
-		Kind: "rreq", Dst: hostid.Broadcast,
-		Bytes:   routing.RREQBytes + radio.MACHeaderBytes,
-		Payload: &fwd,
-	})
+	p.host.SendFrame("rreq", hostid.Broadcast, routing.RREQBytes+radio.MACHeaderBytes, &fwd)
 }
 
 func (p *Protocol) sendRREP(rep *routing.AODVRREP) {
 	p.Stats.RREPsSent++
-	p.host.Send(&radio.Frame{
-		Kind: "rrep", Dst: rep.To,
-		Bytes:   routing.RREPBytes + radio.MACHeaderBytes,
-		Payload: rep,
-	})
+	p.host.SendFrame("rrep", rep.To, routing.RREPBytes+radio.MACHeaderBytes, rep)
 }
 
 func (p *Protocol) handleRREP(m *routing.AODVRREP, from hostid.ID) {
@@ -251,11 +230,8 @@ func (p *Protocol) handleData(m *routing.Data) {
 	}
 	p.Stats.DataDropped++
 	if rev, ok := p.table.Lookup(pkt.Src, now); ok {
-		p.host.Send(&radio.Frame{
-			Kind: "rerr", Dst: rev.NextHop,
-			Bytes:   routing.RERRBytes + radio.MACHeaderBytes,
-			Payload: &routing.RERR{Dst: pkt.Dst},
-		})
+		p.host.SendFrame("rerr", rev.NextHop,
+			routing.RERRBytes+radio.MACHeaderBytes, &routing.RERR{Dst: pkt.Dst})
 	}
 }
 

@@ -142,7 +142,7 @@ type Protocol struct {
 	helloTicker *sim.Ticker
 	checkTicker *sim.Ticker
 	cycleTimer  *sim.Timer // PSM duty cycle
-	pendingAnn  *sim.Event // randomized coordinator announcement backoff
+	pendingAnn  sim.Handle // randomized coordinator announcement backoff
 
 	table  *routing.AODVTable
 	dup    *routing.DupCache
@@ -207,9 +207,7 @@ func (p *Protocol) Stopped() {
 		p.checkTicker.Stop()
 	}
 	p.cycleTimer.Stop()
-	if p.pendingAnn != nil {
-		p.host.Engine().Cancel(p.pendingAnn)
-	}
+	p.host.Engine().Cancel(p.pendingAnn)
 	for _, d := range p.disc { //simlint:ordered stops every timer; order-insensitive
 		d.timer.Stop()
 	}
@@ -261,7 +259,7 @@ func (p *Protocol) cycleSleep() {
 		p.cycleTimer.Reset(p.opt.BeaconPeriod)
 		return
 	}
-	if p.pendingAnn != nil {
+	if p.pendingAnn.Pending() {
 		// About to volunteer: stay awake one more window.
 		p.cycleTimer.Reset(p.opt.AwakeFrac * p.opt.BeaconPeriod)
 		return
@@ -285,16 +283,13 @@ func (p *Protocol) helloTick() {
 func (p *Protocol) sendHello() {
 	ids := p.freshNeighborIDs()
 	p.Stats.HellosSent++
-	p.host.Send(&radio.Frame{
-		Kind: "span-hello", Dst: hostid.Broadcast,
-		Bytes: helloBytes(len(ids)) + radio.MACHeaderBytes,
-		Payload: &Hello{
+	p.host.SendFrame("span-hello", hostid.Broadcast,
+		helloBytes(len(ids))+radio.MACHeaderBytes, &Hello{
 			ID:          p.host.ID(),
 			Coordinator: p.coordinator,
 			Rbrc:        p.host.Battery().Rbrc(p.host.Now()),
 			Neighbors:   ids,
-		},
-	})
+		})
 }
 
 func (p *Protocol) freshNeighborIDs() []hostid.ID {
@@ -394,7 +389,7 @@ func (p *Protocol) coveredByCoordinator(a, b, skip hostid.ID) bool {
 // eligibility rule holds, after Span's randomized backoff (favouring
 // high-energy hosts so they win the race).
 func (p *Protocol) maybeVolunteer() {
-	if p.pendingAnn != nil {
+	if p.pendingAnn.Pending() {
 		return
 	}
 	if !p.uncoveredPair(hostid.None) {
@@ -403,7 +398,7 @@ func (p *Protocol) maybeVolunteer() {
 	rbrc := p.host.Battery().Rbrc(p.host.Now())
 	backoff := p.host.RNG().Uniform("span.backoff", 0, 1) * (1.5 - rbrc) * p.opt.CheckPeriod
 	p.pendingAnn = p.host.Engine().Schedule(backoff, func() {
-		p.pendingAnn = nil
+		p.pendingAnn = sim.Handle{}
 		if p.stopped || p.coordinator || p.host.Asleep() {
 			return
 		}

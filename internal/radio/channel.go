@@ -38,7 +38,10 @@ type Mover interface {
 	NextExit(t float64, bounds geom.Rect) float64
 }
 
-// transmission is a frame in flight.
+// transmission is a frame in flight. Transmissions are pooled: by the
+// end of endTransmission nothing references the struct (the carrier
+// sense set, the sender, and every receiving list have let go), so it is
+// recycled for the next startTransmission.
 type transmission struct {
 	frame   *Frame
 	sender  *station
@@ -47,6 +50,7 @@ type transmission struct {
 	rx      []reception // fixed-capacity: receiving maps hold &rx[i]
 	seq     uint64      // carrier-sense index key
 	attempt int         // retry count for unicast
+	endFn   func()      // endTransmission(self), bound once per pooled struct
 }
 
 // reception is one receiver's view of a transmission.
@@ -63,6 +67,9 @@ type station struct {
 	detached  bool
 
 	transmitting *transmission
+	// tryFn is the backoff-expiry callback bound once at Attach, so each
+	// medium-access cycle schedules without allocating a closure.
+	tryFn func()
 	// receiving holds the in-progress receptions at this station. It is
 	// a slice, not a map: stations overhear at most a handful of frames
 	// at once, so a linear scan beats hashing, and every consumer is
@@ -151,7 +158,12 @@ type Channel struct {
 	cpos   []geom.Point
 	keys   []int64
 	rxFree [][]reception
-	txSeq  uint64
+	// txFree and frameFree recycle transmission and pooled-Frame structs
+	// the same way rxFree recycles reception buffers: everything leaves
+	// the live structures before the struct returns to its pool.
+	txFree    []*transmission
+	frameFree []*Frame
+	txSeq     uint64
 
 	// Sniffer, when non-nil, observes every transmission start. Tests
 	// and the trace layer use it.
@@ -235,6 +247,7 @@ func (c *Channel) Attach(ep Endpoint) {
 		listening: true,
 		cwSlots:   c.cfg.MinBackoffSlots,
 	}
+	st.tryFn = func() { c.tryTransmit(st) }
 	c.stations[id] = st
 	i := sort.Search(len(c.order), func(i int) bool { return c.order[i] >= id })
 	c.order = append(c.order, 0)
@@ -261,6 +274,9 @@ func (c *Channel) Detach(id hostid.ID) {
 		return
 	}
 	st.detached = true
+	for !st.queue.empty() {
+		c.ReleaseFrame(st.queue.popFront().frame)
+	}
 	st.queue.clear()
 	st.abortReceiving()
 	delete(c.stations, id)
@@ -323,7 +339,8 @@ func (c *Channel) Send(src hostid.ID, f *Frame) {
 	}
 	f.Src = src
 	if c.cfg.QueueLimit > 0 && st.queue.len() >= c.cfg.QueueLimit {
-		return // tail drop
+		c.ReleaseFrame(f) // tail drop
+		return
 	}
 	c.counters.FramesQueued++
 	st.queue.pushBack(queued{frame: f})
@@ -338,7 +355,7 @@ func (c *Channel) maybeAccess(st *station) {
 	}
 	st.accessing = true
 	wait := c.cfg.DIFS + float64(c.rng.Intn("radio.backoff", st.cwSlots))*c.cfg.SlotTime
-	c.engine.Schedule(wait, func() { c.tryTransmit(st) })
+	c.engine.Schedule(wait, st.tryFn)
 }
 
 // busyAround reports whether any transmission is audible at p. With the
@@ -378,16 +395,33 @@ func (c *Channel) tryTransmit(st *station) {
 	c.startTransmission(st, q, pos)
 }
 
+func (c *Channel) newTransmission() *transmission {
+	if n := len(c.txFree); n > 0 {
+		tx := c.txFree[n-1]
+		c.txFree[n-1] = nil
+		c.txFree = c.txFree[:n-1]
+		return tx
+	}
+	tx := &transmission{}
+	tx.endFn = func() { c.endTransmission(tx) }
+	return tx
+}
+
+func (c *Channel) recycleTransmission(tx *transmission) {
+	tx.frame = nil
+	tx.sender = nil
+	c.txFree = append(c.txFree, tx)
+}
+
 func (c *Channel) startTransmission(st *station, q queued, pos geom.Point) {
 	air := c.cfg.AirTime(q.frame.Bytes)
-	tx := &transmission{
-		frame:   q.frame,
-		sender:  st,
-		from:    pos,
-		ends:    c.engine.Now() + air + c.cfg.PropDelay,
-		seq:     c.txSeq,
-		attempt: q.attempt,
-	}
+	tx := c.newTransmission()
+	tx.frame = q.frame
+	tx.sender = st
+	tx.from = pos
+	tx.ends = c.engine.Now() + air + c.cfg.PropDelay
+	tx.seq = c.txSeq
+	tx.attempt = q.attempt
 	c.txSeq++
 	st.transmitting = tx
 	// Carrier sense reads exactly one of the two structures (busyAround),
@@ -470,7 +504,7 @@ func (c *Channel) startTransmission(st *station, q queued, pos geom.Point) {
 		}
 	}
 
-	c.engine.Schedule(air+c.cfg.PropDelay, func() { c.endTransmission(tx) })
+	c.engine.Schedule(air+c.cfg.PropDelay, tx.endFn)
 }
 
 // rxBuf returns a reception buffer with at least the given capacity,
@@ -567,13 +601,19 @@ func (c *Channel) endTransmission(tx *transmission) {
 		}
 	}
 
-	// Emulated ACK/timeout loop: retry failed unicast frames.
+	// Emulated ACK/timeout loop: retry failed unicast frames. A retried
+	// frame stays alive on the queue; any other frame is done with the
+	// air and, if pool-owned, returns to the pool (Deliver/TxFailed run
+	// before the release and must not retain the frame — the Protocol
+	// contract).
+	retried := false
 	if tx.frame.Dst.IsUnicast() && !dstOK && !st.detached && st.listening {
 		if tx.attempt < c.cfg.MACRetries {
 			c.counters.Retries++
 			st.cwSlots = min(st.cwSlots*2, c.cfg.MaxBackoffSlots)
 			// Retries go to the queue front to preserve ordering.
 			st.queue.pushFront(queued{frame: tx.frame, attempt: tx.attempt + 1})
+			retried = true
 		} else {
 			c.counters.UnicastFailed++
 			// Link-layer feedback: tell the sender its frame died, as
@@ -583,8 +623,41 @@ func (c *Channel) endTransmission(tx *transmission) {
 			}
 		}
 	}
+	if !retried {
+		c.ReleaseFrame(tx.frame)
+	}
 	c.recycleRx(tx)
+	c.recycleTransmission(tx)
 	c.maybeAccess(st)
+}
+
+// NewFrame returns a frame owned by the channel's pool, initialized with
+// the given header fields and payload. The channel reclaims the struct
+// once it is done with the air (delivered, dropped, or failed); per the
+// node.Protocol contract receivers must not retain the frame past the
+// Receive call, though payloads may be shared. Frames built with a plain
+// composite literal keep working — ReleaseFrame ignores them.
+func (c *Channel) NewFrame(kind string, src, dst hostid.ID, bytes int, payload any) *Frame {
+	var f *Frame
+	if n := len(c.frameFree); n > 0 {
+		f = c.frameFree[n-1]
+		c.frameFree[n-1] = nil
+		c.frameFree = c.frameFree[:n-1]
+	} else {
+		f = &Frame{pooled: true}
+	}
+	f.Kind, f.Src, f.Dst, f.Bytes, f.Payload = kind, src, dst, bytes, payload
+	return f
+}
+
+// ReleaseFrame returns a pool-owned frame (see NewFrame). Frames not
+// created by NewFrame are left alone.
+func (c *Channel) ReleaseFrame(f *Frame) {
+	if f == nil || !f.pooled {
+		return
+	}
+	f.Payload = nil
+	c.frameFree = append(c.frameFree, f)
 }
 
 // TxFeedback is implemented by endpoints that want link-layer failure

@@ -25,6 +25,11 @@ type Frame struct {
 	Dst     hostid.ID // destination host or hostid.Broadcast
 	Bytes   int       // total size on air, in bytes
 	Payload any       // protocol message, delivered untouched
+
+	// pooled marks frames owned by a Channel's frame pool (NewFrame);
+	// the channel reclaims them in ReleaseFrame. Literal-built frames
+	// leave it false and are garbage-collected as before.
+	pooled bool
 }
 
 // String summarizes the frame for traces.

@@ -87,7 +87,11 @@ func Run(cfg scenario.Config) *Results {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	engine := sim.NewEngine()
+	sched := sim.Calendar
+	if cfg.HeapScheduler {
+		sched = sim.Heap
+	}
+	engine := sim.NewEngineWith(sched)
 	rng := sim.NewRNG(cfg.Seed)
 	area := geom.NewRect(geom.Point{}, geom.Point{X: cfg.AreaSize, Y: cfg.AreaSize})
 	part := grid.NewPartition(area, cfg.GridSize)

@@ -102,6 +102,13 @@ type Config struct {
 	// the defaults (GridOptions for GRID).
 	ECGRIDOptions *core.Options
 	GAFOptions    *gaf.Options
+	// HeapScheduler runs the event engine on the binary-heap reference
+	// scheduler instead of the default calendar queue — sim's analog of
+	// Radio.BruteForce. Both produce byte-identical runs; the knob
+	// exists for the equivalence tests and for debugging. omitempty
+	// keeps the JSON encoding (and batch manifest keys) of default
+	// configs unchanged.
+	HeapScheduler bool `json:",omitempty"`
 	// Faults, if non-nil and non-empty, injects the plan's crashes,
 	// battery shocks, jamming, paging loss, and GPS errors into the run.
 	// omitempty keeps the JSON encoding — and with it batch manifest

@@ -1,0 +1,261 @@
+package sim
+
+// calendarQueue is the default scheduler: a calendar queue in the style
+// of Brown (CACM '88) and the ns-2 scheduler. Simulated time is divided
+// into fixed-width windows ("days"); window v hashes to bucket v&mask on
+// a power-of-two ring ("year"), and each bucket keeps its events sorted
+// by (when, seq). Dequeue scans forward from the current window and pops
+// bucket fronts; with the bucket width adapted to the event density,
+// both enqueue and dequeue are O(1) amortized.
+//
+// Determinism: an event's virtual window index vidx is computed once, at
+// push, and both bucket placement and the dequeue window test use that
+// integer — never a recomputed float boundary. vindex is monotone in
+// when, events sharing a window share a bucket (sorted), so the pop
+// sequence is exactly the (when, seq) total order: byte-identical to the
+// heap reference regardless of how float rounding assigns boundary
+// events to windows.
+type calendarQueue struct {
+	buckets [][]*event
+	mask    int     // len(buckets)-1; len is a power of two
+	width   float64 // seconds per window
+	n       int     // queued events, including canceled ones
+	curV    int64   // current scan window; invariant: curV ≤ min queued vidx
+}
+
+const (
+	// calMinBuckets is the smallest ring; resize never shrinks below it.
+	calMinBuckets = 32
+	// calMaxVirtual clamps the virtual window index so that huge or
+	// infinite timestamps stay representable: everything at or beyond
+	// calMaxVirtual windows shares one overflow window (still sorted
+	// within its bucket, so order is preserved). 2^48 windows at the
+	// minimum width is ~78 hours of simulated time per 2^48 slots —
+	// unreachable by the scan, only by the direct-min jump.
+	calMaxVirtual = 1 << 48
+	// calMinWidth keeps when/width finite and the virtual index sane
+	// even if the sampled event spacing collapses to nanoseconds.
+	calMinWidth = 1e-9
+	// calSample is how many of the smallest queued events the width
+	// adaptation inspects on resize.
+	calSample = 32
+)
+
+func newCalendarQueue() *calendarQueue {
+	return &calendarQueue{
+		buckets: make([][]*event, calMinBuckets),
+		mask:    calMinBuckets - 1,
+		width:   1.0,
+	}
+}
+
+// vindex maps a timestamp to its virtual window. Monotone in when;
+// clamps non-finite and astronomically large values to the overflow
+// window before any float→int conversion can misbehave.
+func (q *calendarQueue) vindex(when Time) int64 {
+	v := when / q.width
+	if !(v < calMaxVirtual) { // also catches +Inf
+		return calMaxVirtual
+	}
+	return int64(v)
+}
+
+// insert places ev into its bucket in (when, seq) order, scanning from
+// the back: the common case — timestamps arriving roughly in order —
+// appends in O(1).
+func (q *calendarQueue) insert(ev *event) {
+	v := q.vindex(ev.when)
+	ev.vidx = v
+	i := int(v & int64(q.mask))
+	b := q.buckets[i]
+	j := len(b)
+	for j > 0 && eventLess(ev, b[j-1]) {
+		j--
+	}
+	b = append(b, nil)
+	copy(b[j+1:], b[j:])
+	b[j] = ev
+	q.buckets[i] = b
+	ev.slot = i
+}
+
+func (q *calendarQueue) push(ev *event) {
+	q.insert(ev)
+	q.n++
+	// Back the scan up if this event's window precedes it (or the
+	// queue was empty), preserving the curV ≤ min-vidx invariant.
+	if q.n == 1 || ev.vidx < q.curV {
+		q.curV = ev.vidx
+	}
+	if q.n > 2*len(q.buckets) {
+		q.resize(2 * len(q.buckets))
+	}
+}
+
+func (q *calendarQueue) popLE(limit Time) *event {
+	if q.n == 0 {
+		return nil
+	}
+	for {
+		// Scan up to one year of windows. The invariant guarantees the
+		// first front whose vidx matches the scan window is the global
+		// minimum: fronts are per-bucket minima (buckets sorted, vindex
+		// monotone), and no queued event lives in an earlier window.
+		for k := 0; k <= q.mask; k++ {
+			i := int(q.curV & int64(q.mask))
+			b := q.buckets[i]
+			if len(b) > 0 && b[0].vidx <= q.curV {
+				ev := b[0]
+				if ev.when > limit {
+					return nil
+				}
+				copy(b, b[1:])
+				b[len(b)-1] = nil
+				q.buckets[i] = b[:len(b)-1]
+				ev.slot = -1
+				q.n--
+				if q.n < len(q.buckets)/2 && len(q.buckets) > calMinBuckets {
+					q.resize(len(q.buckets) / 2)
+				}
+				return ev
+			}
+			q.curV++
+		}
+		// A whole year with nothing due: the next event is more than a
+		// year of windows away. Jump straight to its window.
+		min := q.minEvent()
+		if min.when > limit {
+			return nil
+		}
+		q.curV = min.vidx
+	}
+}
+
+// minEvent returns the (when, seq)-minimum queued event by comparing
+// bucket fronts. O(buckets); only used for the year-jump fallback and
+// for re-establishing the scan window after a resize. Caller ensures
+// n > 0.
+func (q *calendarQueue) minEvent() *event {
+	var min *event
+	for _, b := range q.buckets {
+		if len(b) > 0 && (min == nil || eventLess(b[0], min)) {
+			min = b[0]
+		}
+	}
+	return min
+}
+
+func (q *calendarQueue) remove(ev *event) {
+	b := q.buckets[ev.slot]
+	for j := range b {
+		if b[j] == ev {
+			copy(b[j:], b[j+1:])
+			b[len(b)-1] = nil
+			q.buckets[ev.slot] = b[:len(b)-1]
+			break
+		}
+	}
+	ev.slot = -1
+	q.n--
+}
+
+func (q *calendarQueue) size() int { return q.n }
+
+func (q *calendarQueue) sweep(recycle func(*event)) {
+	for i, b := range q.buckets {
+		kept := b[:0]
+		for _, ev := range b {
+			if ev.canceled {
+				q.n--
+				recycle(ev)
+			} else {
+				kept = append(kept, ev)
+			}
+		}
+		for j := len(kept); j < len(b); j++ {
+			b[j] = nil
+		}
+		q.buckets[i] = kept
+	}
+	if q.n < len(q.buckets)/2 && len(q.buckets) > calMinBuckets {
+		q.resize(len(q.buckets) / 2)
+	}
+}
+
+// resize rebuilds the ring with nb buckets and a freshly adapted width,
+// then re-establishes the scan window at the minimum event. Triggered
+// when the population exceeds twice the bucket count (grow) or falls
+// below half (shrink), so the amortized cost per event stays O(1).
+func (q *calendarQueue) resize(nb int) {
+	if nb < calMinBuckets {
+		nb = calMinBuckets
+	}
+	q.width = q.newWidth()
+	old := q.buckets
+	q.buckets = make([][]*event, nb)
+	q.mask = nb - 1
+	for _, b := range old {
+		for _, ev := range b {
+			q.insert(ev)
+		}
+	}
+	q.curV = 0
+	if q.n > 0 {
+		q.curV = q.minEvent().vidx
+	}
+}
+
+// newWidth estimates the bucket width as three times the average gap
+// between the calSample earliest queued events, discarding outlier gaps
+// larger than twice the raw average (Brown's refinement). Falls back to
+// the current width when the population is too small or the sampled
+// events are simultaneous. Deterministic: the sample is the multiset of
+// smallest timestamps, independent of bucket iteration order.
+func (q *calendarQueue) newWidth() float64 {
+	if q.n < 2 {
+		return q.width
+	}
+	k := calSample
+	if q.n < k {
+		k = q.n
+	}
+	sample := make([]float64, 0, k)
+	for _, b := range q.buckets {
+		for _, ev := range b {
+			w := ev.when
+			if len(sample) == k {
+				if w >= sample[k-1] {
+					continue
+				}
+				sample = sample[:k-1]
+			}
+			j := len(sample)
+			sample = append(sample, 0)
+			for j > 0 && sample[j-1] > w {
+				sample[j] = sample[j-1]
+				j--
+			}
+			sample[j] = w
+		}
+	}
+	span := sample[len(sample)-1] - sample[0]
+	if span <= 0 {
+		return q.width
+	}
+	avg := span / float64(len(sample)-1)
+	sum, cnt := 0.0, 0
+	for i := 1; i < len(sample); i++ {
+		if gap := sample[i] - sample[i-1]; gap <= 2*avg {
+			sum += gap
+			cnt++
+		}
+	}
+	if cnt > 0 && sum > 0 {
+		avg = sum / float64(cnt)
+	}
+	w := 3 * avg
+	if w < calMinWidth {
+		w = calMinWidth
+	}
+	return w
+}

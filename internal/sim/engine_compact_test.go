@@ -9,7 +9,7 @@ import "testing"
 func TestCancelCompactsQueue(t *testing.T) {
 	e := NewEngine()
 	const n = 200
-	events := make([]*Event, n)
+	events := make([]Handle, n)
 	var fired []int
 	for i := 0; i < n; i++ {
 		i := i
@@ -67,7 +67,7 @@ func TestCancelAfterPopIsNoop(t *testing.T) {
 	e := NewEngine()
 	ev := e.Schedule(1, func() {})
 	e.RunAll()
-	e.Cancel(ev) // already fired: index < 0, counter must not move
+	e.Cancel(ev) // already fired: stale generation, counter must not move
 	e.Cancel(ev) // and double-cancel is equally harmless
 	for i := 0; i < 100; i++ {
 		e.Schedule(float64(i), func() {})

@@ -97,20 +97,23 @@ func TestEngineCancel(t *testing.T) {
 	ev := e.Schedule(1, func() { fired = true })
 	e.Cancel(ev)
 	e.Cancel(ev) // double cancel is a no-op
-	e.Cancel(nil)
+	e.Cancel(Handle{})
+	if !ev.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
 	e.RunAll()
 	if fired {
 		t.Fatal("canceled event fired")
 	}
-	if !ev.Canceled() {
-		t.Fatal("Canceled() = false after Cancel")
+	if ev.Canceled() {
+		t.Fatal("Canceled() = true on a stale handle (event was recycled)")
 	}
 }
 
 func TestEngineCancelFromWithinEvent(t *testing.T) {
 	e := NewEngine()
 	fired := false
-	var ev *Event
+	var ev Handle
 	e.Schedule(1, func() { e.Cancel(ev) })
 	ev = e.Schedule(2, func() { fired = true })
 	e.RunAll()
@@ -217,7 +220,7 @@ func TestEngineCancelProperty(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		e := NewEngine()
 		fired := make(map[int]bool)
-		events := make([]*Event, 0, n)
+		events := make([]Handle, 0, n)
 		for i := 0; i < int(n); i++ {
 			i := i
 			events = append(events, e.Schedule(r.Float64()*100, func() { fired[i] = true }))

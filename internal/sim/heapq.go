@@ -1,0 +1,76 @@
+package sim
+
+import "container/heap"
+
+// heapQueue is the binary-heap scheduler: the original event queue, kept
+// as the reference implementation (sim's analog of Radio.BruteForce).
+// O(log n) per push/pop, ordered by (when, seq).
+type heapQueue struct {
+	events []*event
+}
+
+// eventLess is the one total order both schedulers implement: earlier
+// timestamp first, FIFO (scheduling order) among equal timestamps.
+func eventLess(a, b *event) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+func (q *heapQueue) Len() int           { return len(q.events) }
+func (q *heapQueue) Less(i, j int) bool { return eventLess(q.events[i], q.events[j]) }
+func (q *heapQueue) Swap(i, j int) {
+	q.events[i], q.events[j] = q.events[j], q.events[i]
+	q.events[i].slot = i
+	q.events[j].slot = j
+}
+
+func (q *heapQueue) Push(x any) {
+	ev := x.(*event)
+	ev.slot = len(q.events)
+	q.events = append(q.events, ev)
+}
+
+func (q *heapQueue) Pop() any {
+	n := len(q.events)
+	ev := q.events[n-1]
+	q.events[n-1] = nil
+	q.events = q.events[:n-1]
+	ev.slot = -1
+	return ev
+}
+
+func (q *heapQueue) push(ev *event) { heap.Push(q, ev) }
+
+func (q *heapQueue) popLE(limit Time) *event {
+	if len(q.events) == 0 || q.events[0].when > limit {
+		return nil
+	}
+	return heap.Pop(q).(*event)
+}
+
+func (q *heapQueue) remove(ev *event) { heap.Remove(q, ev.slot) }
+
+func (q *heapQueue) size() int { return len(q.events) }
+
+// sweep drops every canceled event, preserving the survivors' heap
+// invariant by rebuilding in place.
+func (q *heapQueue) sweep(recycle func(*event)) {
+	kept := q.events[:0]
+	for _, ev := range q.events {
+		if ev.canceled {
+			recycle(ev)
+			continue
+		}
+		kept = append(kept, ev)
+	}
+	for i := len(kept); i < len(q.events); i++ {
+		q.events[i] = nil
+	}
+	q.events = kept
+	for i, ev := range q.events {
+		ev.slot = i
+	}
+	heap.Init(q)
+}

@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// schedulerTrace drives one engine through a seeded random workload of
+// schedules, cancels, reschedules and nested scheduling, and records the
+// exact fire sequence. Both scheduler kinds must produce identical
+// traces: the calendar queue is only correct if its pop order is the
+// same (when, seq) total order the heap reference implements.
+func schedulerTrace(t *testing.T, kind SchedulerKind, seed int64) []float64 {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	e := NewEngineWith(kind)
+	var fired []float64
+	var handles []Handle
+
+	// A recursive-ish workload: some events schedule follow-ups, which
+	// exercises pool reuse under a live queue.
+	var spawn func(depth int) func()
+	spawn = func(depth int) func() {
+		id := float64(len(fired))
+		_ = id
+		return func() {
+			fired = append(fired, e.Now())
+			if depth > 0 && r.Intn(3) == 0 {
+				h := e.Schedule(r.Float64()*float64(r.Intn(50)+1), spawn(depth-1))
+				handles = append(handles, h)
+			}
+		}
+	}
+
+	const n = 600
+	for i := 0; i < n; i++ {
+		switch r.Intn(10) {
+		case 0: // burst of simultaneous events (FIFO tie-break)
+			when := r.Float64() * 100
+			for j := 0; j < 3; j++ {
+				handles = append(handles, e.At(when, spawn(1)))
+			}
+		case 1: // far-future event (stresses calendar year jumps)
+			handles = append(handles, e.Schedule(1000+r.Float64()*1e6, spawn(0)))
+		case 2: // cancel a random earlier handle (often stale: no-op)
+			if len(handles) > 0 {
+				e.Cancel(handles[r.Intn(len(handles))])
+			}
+		case 3: // reschedule a random earlier handle
+			if len(handles) > 0 {
+				e.Reschedule(handles[r.Intn(len(handles))], r.Float64()*200)
+			}
+		case 4: // microsecond-scale clustering (stresses width adaptation)
+			handles = append(handles, e.Schedule(r.Float64()*1e-4, spawn(1)))
+		default:
+			handles = append(handles, e.Schedule(r.Float64()*300, spawn(2)))
+		}
+	}
+	e.Run(750) // leave some events beyond the horizon unfired
+	e.RunAll()
+	return fired
+}
+
+// TestSchedulerEquivalence is the cross-scheduler property test: for
+// many random workloads, heap and calendar queue fire the identical
+// sequence of timestamps in the identical order.
+func TestSchedulerEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		heap := schedulerTrace(t, Heap, seed)
+		cal := schedulerTrace(t, Calendar, seed)
+		if len(heap) != len(cal) {
+			t.Fatalf("seed %d: heap fired %d events, calendar %d", seed, len(heap), len(cal))
+		}
+		for i := range heap {
+			if heap[i] != cal[i] {
+				t.Fatalf("seed %d: fire %d diverges: heap %v, calendar %v", seed, i, heap[i], cal[i])
+			}
+		}
+	}
+}
+
+// TestCalendarResizeCycles forces the ring through growth and shrink
+// while checking order against a sorted oracle.
+func TestCalendarResizeCycles(t *testing.T) {
+	e := NewEngine()
+	r := rand.New(rand.NewSource(7))
+	var fired []float64
+	// Grow well past several doublings...
+	for i := 0; i < 500; i++ {
+		e.Schedule(r.Float64()*50, func() { fired = append(fired, e.Now()) })
+	}
+	// ...drain most of it so the ring shrinks...
+	e.Run(40)
+	// ...and refill at a different timescale so the width readapts.
+	for i := 0; i < 500; i++ {
+		e.Schedule(100+r.Float64()*0.01, func() { fired = append(fired, e.Now()) })
+	}
+	e.RunAll()
+	if len(fired) != 1000 {
+		t.Fatalf("fired %d events, want 1000", len(fired))
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("order violated at %d: %v after %v", i, fired[i], fired[i-1])
+		}
+	}
+}
+
+// TestCalendarInfiniteTimestamp pins the overflow-window clamp: events
+// at +Inf (or absurdly far out) must queue, order after everything
+// finite, and only fire under RunAll.
+func TestCalendarInfiniteTimestamp(t *testing.T) {
+	for _, kind := range []SchedulerKind{Heap, Calendar} {
+		e := NewEngineWith(kind)
+		var got []string
+		inf := 1e300
+		e.At(inf, func() { got = append(got, "far") })
+		e.Schedule(1, func() { got = append(got, "near") })
+		e.Run(100)
+		if len(got) != 1 || got[0] != "near" {
+			t.Fatalf("kind %v: after Run(100) got %v, want [near]", kind, got)
+		}
+		e.RunAll()
+		if len(got) != 2 || got[1] != "far" {
+			t.Fatalf("kind %v: after RunAll got %v, want [near far]", kind, got)
+		}
+	}
+}

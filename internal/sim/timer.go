@@ -3,11 +3,13 @@ package sim
 // Timer is a restartable one-shot timer bound to an engine. Protocol code
 // uses timers for HELLO periods, dwell wakeups, retransmissions, and the
 // like. Unlike raw events, a Timer can be rescheduled: Reset cancels any
-// outstanding firing and schedules a fresh one.
+// outstanding firing and schedules a fresh one. The common reschedule
+// path reuses the timer's queued event in place, so a steady Reset churn
+// allocates nothing.
 type Timer struct {
 	engine *Engine
 	fn     func()
-	ev     *Event
+	h      Handle
 }
 
 // NewTimer returns a stopped timer that runs fn when it fires.
@@ -21,40 +23,32 @@ func NewTimer(engine *Engine, fn func()) *Timer {
 // Reset (re)schedules the timer to fire after delay seconds, canceling any
 // previously scheduled firing.
 func (t *Timer) Reset(delay Time) {
-	t.Stop()
-	ev := t.engine.Schedule(delay, func() {
-		t.ev = nil
-		t.fn()
-	})
-	t.ev = ev
+	if t.engine.Reschedule(t.h, delay) {
+		return
+	}
+	t.h = t.engine.Schedule(delay, t.fn)
 }
 
 // Stop cancels a pending firing. Stopping an inactive timer is a no-op.
 func (t *Timer) Stop() {
-	if t.ev != nil {
-		t.engine.Cancel(t.ev)
-		t.ev = nil
-	}
+	t.engine.Cancel(t.h)
+	t.h = Handle{}
 }
 
 // Active reports whether a firing is pending.
-func (t *Timer) Active() bool { return t.ev != nil }
+func (t *Timer) Active() bool { return t.h.Pending() }
 
 // Deadline returns the absolute firing time. It is only meaningful when
 // Active reports true.
-func (t *Timer) Deadline() Time {
-	if t.ev == nil {
-		return 0
-	}
-	return t.ev.When()
-}
+func (t *Timer) Deadline() Time { return t.h.When() }
 
 // Ticker repeatedly invokes a callback at a fixed period until stopped.
 type Ticker struct {
 	engine  *Engine
 	period  Time
 	fn      func()
-	ev      *Event
+	tickFn  func() // t.tick bound once; rescheduling it allocates nothing
+	h       Handle
 	stopped bool
 }
 
@@ -67,7 +61,8 @@ func NewTicker(engine *Engine, period, phase Time, fn func()) *Ticker {
 		panic("sim: NewTicker with non-positive period")
 	}
 	t := &Ticker{engine: engine, period: period, fn: fn}
-	t.ev = engine.Schedule(period+phase, t.tick)
+	t.tickFn = t.tick
+	t.h = engine.Schedule(period+phase, t.tickFn)
 	return t
 }
 
@@ -79,14 +74,12 @@ func (t *Ticker) tick() {
 	if t.stopped { // fn may stop the ticker
 		return
 	}
-	t.ev = t.engine.Schedule(t.period, t.tick)
+	t.h = t.engine.Schedule(t.period, t.tickFn)
 }
 
 // Stop permanently halts the ticker.
 func (t *Ticker) Stop() {
 	t.stopped = true
-	if t.ev != nil {
-		t.engine.Cancel(t.ev)
-		t.ev = nil
-	}
+	t.engine.Cancel(t.h)
+	t.h = Handle{}
 }

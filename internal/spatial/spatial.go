@@ -75,7 +75,10 @@ type entry[T any] struct {
 	pos     func() geom.Point
 	next    NextExit
 	key     cellKey
-	ev      *sim.Event
+	ev      sim.Handle
+	// rebucketFn is the re-bucket callback bound once at Insert, so the
+	// steady re-bucket cycle schedules without allocating a closure.
+	rebucketFn func()
 }
 
 // Candidate is one Nearby result.
@@ -222,6 +225,7 @@ func (ix *Index[T]) Insert(id hostid.ID, payload T, pos func() geom.Point, next 
 		panic(fmt.Sprintf("spatial: duplicate insert of %v", id))
 	}
 	e := &entry[T]{id: id, payload: payload, pos: pos, next: next}
+	e.rebucketFn = func() { ix.rebucket(e) }
 	e.key = ix.keyOf(pos())
 	ix.cells.add(e.key, e)
 	ix.byID[id] = e
@@ -237,7 +241,7 @@ func (ix *Index[T]) Remove(id hostid.ID) {
 	}
 	delete(ix.byID, id)
 	ix.engine.Cancel(e.ev)
-	e.ev = nil
+	e.ev = sim.Handle{}
 	ix.dropFromCell(e)
 }
 
@@ -251,18 +255,18 @@ func (ix *Index[T]) scheduleRebucket(e *entry[T]) {
 	now := ix.engine.Now()
 	at := e.next(now, ix.looseBounds(e.key))
 	if math.IsInf(at, 1) {
-		e.ev = nil
+		e.ev = sim.Handle{}
 		return // provably confined (e.g. stationary): zero maintenance
 	}
 	delay := at - now
 	if delay < minRebucketDelay {
 		delay = minRebucketDelay
 	}
-	e.ev = ix.engine.Schedule(delay, func() { ix.rebucket(e) })
+	e.ev = ix.engine.Schedule(delay, e.rebucketFn)
 }
 
 func (ix *Index[T]) rebucket(e *entry[T]) {
-	e.ev = nil
+	e.ev = sim.Handle{}
 	if ix.byID[e.id] != e {
 		return // removed (or replaced) while the event was in flight
 	}

@@ -9,6 +9,8 @@ package trace
 import (
 	"fmt"
 	"io"
+	"sort"
+	"strconv"
 	"strings"
 
 	"ecgrid/internal/hostid"
@@ -22,11 +24,20 @@ type Entry struct {
 	Src  hostid.ID // originating host (hostid.None when not applicable)
 	Dst  hostid.ID // addressed host (hostid.Broadcast / hostid.None)
 	Note string    // human-readable detail
+	// Bytes carries a frame size for radio entries. It renders as the
+	// note ("%dB") when Note is empty — stored typed so the hot sniffer
+	// path records without formatting; rendering pays the Sprintf only
+	// for entries that are actually printed.
+	Bytes int
 }
 
 // String renders the entry as one log line.
 func (e Entry) String() string {
-	return fmt.Sprintf("%10.4f  %-9s %-9s -> %-9s %s", e.T, e.Kind, e.Src, e.Dst, e.Note)
+	note := e.Note
+	if note == "" && e.Bytes != 0 {
+		note = strconv.Itoa(e.Bytes) + "B"
+	}
+	return fmt.Sprintf("%10.4f  %-9s %-9s -> %-9s %s", e.T, e.Kind, e.Src, e.Dst, note)
 }
 
 // Recorder accumulates entries up to a capacity; past it, the oldest
@@ -137,7 +148,7 @@ func (r *Recorder) Summarize() string {
 	for k := range counts {
 		kinds = append(kinds, k)
 	}
-	sortStrings(kinds)
+	sort.Strings(kinds)
 	parts := make([]string, 0, len(kinds))
 	for _, k := range kinds {
 		parts = append(parts, fmt.Sprintf("%s=%d", k, counts[k]))
@@ -145,18 +156,12 @@ func (r *Recorder) Summarize() string {
 	return strings.Join(parts, " ")
 }
 
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
-}
-
 // AttachRadio subscribes the recorder to every transmission on the
-// channel. It overwrites any previous sniffer.
+// channel. It overwrites any previous sniffer. The sniffer stores the
+// frame's fields typed — no formatting on the hot path; Entry.String
+// renders the byte count lazily and byte-identically.
 func (r *Recorder) AttachRadio(c *radio.Channel) {
 	c.Sniffer = func(f *radio.Frame, at float64) {
-		r.Record(at, f.Kind, f.Src, f.Dst, "%dB", f.Bytes)
+		r.Add(Entry{T: at, Kind: f.Kind, Src: f.Src, Dst: f.Dst, Bytes: f.Bytes})
 	}
 }

@@ -134,7 +134,44 @@ func TestAttachRadioRecordsTransmissions(t *testing.T) {
 	if len(got) != 1 || got[0].Src != 1 {
 		t.Fatalf("recorded = %v", got)
 	}
-	if got[0].Note != "20B" {
-		t.Fatalf("note = %q", got[0].Note)
+	// The byte count is stored typed (no formatting on the sniffer hot
+	// path) and must render exactly as the old eager "%dB" note did.
+	if got[0].Bytes != 20 {
+		t.Fatalf("bytes = %d", got[0].Bytes)
+	}
+	if s := got[0].String(); !strings.HasSuffix(s, " 20B") {
+		t.Fatalf("rendered entry = %q, want trailing \" 20B\"", s)
+	}
+}
+
+// TestEntryStringLazyBytesIdentical pins the lazy render: a typed Bytes
+// field must produce exactly the line the old eager Sprintf("%dB") note
+// produced, and an explicit Note must win over Bytes.
+func TestEntryStringLazyBytesIdentical(t *testing.T) {
+	lazy := Entry{T: 12.3456, Kind: "data", Src: 3, Dst: 9, Bytes: 148}
+	eager := Entry{T: 12.3456, Kind: "data", Src: 3, Dst: 9, Note: "148B"}
+	if lazy.String() != eager.String() {
+		t.Fatalf("lazy render %q != eager render %q", lazy.String(), eager.String())
+	}
+	noted := Entry{T: 1, Kind: "x", Src: 1, Dst: 2, Note: "hand-written", Bytes: 99}
+	if !strings.HasSuffix(noted.String(), "hand-written") {
+		t.Fatalf("explicit note lost: %q", noted.String())
+	}
+}
+
+func TestSummarizeRingWraparound(t *testing.T) {
+	r := NewRecorder(4)
+	// 7 entries through a 4-slot ring: the first three fall off the
+	// front, and the retained window wraps the backing array.
+	kinds := []string{"a", "b", "a", "c", "b", "c", "c"}
+	for i, k := range kinds {
+		r.Add(entry(float64(i), k, 1, 2))
+	}
+	if r.Len() != 4 || r.Total() != 7 {
+		t.Fatalf("Len=%d Total=%d, want 4 and 7", r.Len(), r.Total())
+	}
+	// Retained: b, c, c at the wrap plus b — i.e. kinds[3:] = c b c c.
+	if got, want := r.Summarize(), "b=1 c=3"; got != want {
+		t.Fatalf("Summarize() = %q, want %q", got, want)
 	}
 }
