@@ -23,6 +23,7 @@ import (
 	"syscall"
 
 	"ecgrid/internal/experiment"
+	"ecgrid/internal/store"
 )
 
 func main() {
@@ -36,6 +37,7 @@ func main() {
 		parallel = flag.Int("parallel", 0, "concurrent simulations; 0 uses all cores, 1 runs serially")
 		manifest = flag.String("manifest", "", "append a JSONL manifest of completed runs to this file")
 		resume   = flag.Bool("resume", false, "skip runs already recorded in the -manifest file")
+		storeDir = flag.String("store", "", "content-addressed result store directory shared with simd; cached runs are skipped")
 		quiet    = flag.Bool("q", false, "suppress per-run progress on stderr")
 	)
 	flag.Parse()
@@ -68,6 +70,14 @@ func main() {
 		Manifest: *manifest,
 		Resume:   *resume,
 		Context:  ctx,
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.DefaultCacheEntries)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		opt.Store = st
 	}
 	if !*quiet {
 		// The batch layer serializes calls, so this closure needs no

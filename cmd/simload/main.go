@@ -1,0 +1,195 @@
+// Command simload load-tests a running simd daemon: K concurrent
+// clients fire a stream of POST /v1/run requests whose unique-config
+// count is derived from a target cache-hit ratio, then the tool reports
+// status counts, the observed hit ratio, and p50/p95/p99 latency.
+//
+//	simload -addr http://127.0.0.1:8171 -clients 8 -requests 400 -hit 0.9
+//
+// Exit status is non-zero when any request ends in a status other than
+// 200 (429s are retried per Retry-After, up to -retries), or when the
+// p99 latency exceeds -max-p99 (if set) — which is what lets CI use a
+// simload run as a pass/fail smoke gate.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ecgrid/internal/scenario"
+	"ecgrid/internal/stats"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8171", "simd base URL")
+		clients  = flag.Int("clients", 8, "concurrent clients")
+		requests = flag.Int("requests", 400, "total requests")
+		hit      = flag.Float64("hit", 0.9, "target cache-hit ratio in [0,1); sets the unique-config count")
+		base     = flag.String("base", "ecgrid", "protocol for the generated configs")
+		hosts    = flag.Int("hosts", 12, "hosts per generated config")
+		simDur   = flag.Float64("sim-duration", 20, "simulated seconds per generated config")
+		seed0    = flag.Int64("seed0", 1, "first seed; unique configs use seed0, seed0+1, …")
+		timeout  = flag.Duration("timeout", 2*time.Minute, "per-request client timeout")
+		retries  = flag.Int("retries", 5, "retry budget per request for 429 responses")
+		maxP99   = flag.Duration("max-p99", 0, "fail if p99 latency exceeds this; 0 disables the gate")
+	)
+	flag.Parse()
+
+	if *requests <= 0 || *clients <= 0 {
+		fmt.Fprintln(os.Stderr, "simload: -requests and -clients must be positive")
+		os.Exit(2)
+	}
+	if *hit < 0 || *hit >= 1 {
+		fmt.Fprintln(os.Stderr, "simload: -hit must be in [0, 1)")
+		os.Exit(2)
+	}
+	proto, err := scenario.ParseProtocol(*base)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	// hit ratio → unique configs: U uniques over R requests leave R−U
+	// repeat requests, so the expected hit+join ratio is 1 − U/R.
+	unique := int(float64(*requests)*(1-*hit) + 0.5)
+	if unique < 1 {
+		unique = 1
+	}
+	if unique > *requests {
+		unique = *requests
+	}
+	bodies := make([][]byte, unique)
+	for i := range bodies {
+		cfg := scenario.Default(proto)
+		cfg.Hosts = *hosts
+		cfg.Flows = 2
+		cfg.Duration = *simDur
+		cfg.Seed = *seed0 + int64(i)
+		b, err := json.Marshal(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		bodies[i] = b
+	}
+
+	var (
+		next     atomic.Int64
+		mu       sync.Mutex
+		lat      []float64 // seconds, successful requests only
+		byCache  = map[string]int{}
+		byStatus = map[int]int{}
+		retried  int
+		failures int
+	)
+	client := &http.Client{Timeout: *timeout}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			token := fmt.Sprintf("client-%d", w)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= *requests {
+					return
+				}
+				status, cache, d, nretry, err := fire(client, *addr, token, bodies[i%unique], *retries)
+				mu.Lock()
+				retried += nretry
+				if err != nil {
+					failures++
+					fmt.Fprintf(os.Stderr, "simload: request %d: %v\n", i, err)
+				} else {
+					byStatus[status]++
+					if status == http.StatusOK {
+						lat = append(lat, d.Seconds())
+						byCache[cache]++
+					} else {
+						failures++
+					}
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Float64s(lat)
+	p50 := time.Duration(stats.Percentile(lat, 0.50) * float64(time.Second))
+	p95 := time.Duration(stats.Percentile(lat, 0.95) * float64(time.Second))
+	p99 := time.Duration(stats.Percentile(lat, 0.99) * float64(time.Second))
+
+	fmt.Printf("simload: %d requests, %d clients, %d unique configs, %.1fs wall (%.0f req/s)\n",
+		*requests, *clients, unique, elapsed.Seconds(), float64(*requests)/elapsed.Seconds())
+	var statuses []int
+	for s := range byStatus {
+		statuses = append(statuses, s)
+	}
+	sort.Ints(statuses)
+	fmt.Printf("status:")
+	for _, s := range statuses {
+		fmt.Printf(" %d×%d", s, byStatus[s])
+	}
+	fmt.Printf("  (429 retries: %d, failures: %d)\n", retried, failures)
+	ok := byStatus[http.StatusOK]
+	if ok > 0 {
+		served := byCache["hit"]
+		fmt.Printf("cache: hits %d, misses %d, joins %d → observed hit ratio %.3f\n",
+			served, byCache["miss"], byCache["join"], float64(served)/float64(ok))
+	}
+	fmt.Printf("latency: p50=%s p95=%s p99=%s\n",
+		p50.Round(time.Microsecond), p95.Round(time.Microsecond), p99.Round(time.Microsecond))
+
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "simload: FAIL: %d requests did not end in 200\n", failures)
+		os.Exit(1)
+	}
+	if *maxP99 > 0 && p99 > *maxP99 {
+		fmt.Fprintf(os.Stderr, "simload: FAIL: p99 %s exceeds budget %s\n", p99, *maxP99)
+		os.Exit(1)
+	}
+}
+
+// fire sends one request, retrying 429s per their Retry-After (or 1 s),
+// and returns the final status, the X-Cache header, the latency of the
+// final attempt, and how many retries it took.
+func fire(client *http.Client, addr, token string, body []byte, budget int) (status int, cache string, d time.Duration, retries int, err error) {
+	for {
+		t0 := time.Now()
+		req, err := http.NewRequest(http.MethodPost, addr+"/v1/run", bytes.NewReader(body))
+		if err != nil {
+			return 0, "", 0, retries, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Client", token)
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, "", 0, retries, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		d = time.Since(t0)
+		if resp.StatusCode != http.StatusTooManyRequests || retries >= budget {
+			return resp.StatusCode, resp.Header.Get("X-Cache"), d, retries, nil
+		}
+		retries++
+		wait := time.Second
+		if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+			wait = time.Duration(ra) * time.Second
+		}
+		time.Sleep(wait)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"ecgrid/internal/faults"
 	"ecgrid/internal/prof"
 	"ecgrid/internal/scenario"
+	"ecgrid/internal/store"
 )
 
 func main() {
@@ -43,6 +44,7 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "concurrent runs; 0 uses all cores, 1 runs serially")
 		out       = flag.String("out", "", "append a JSONL manifest of completed runs to this file")
 		resume    = flag.Bool("resume", false, "skip runs already recorded in the -out manifest")
+		storeDir  = flag.String("store", "", "content-addressed result store directory shared with simd; cached runs are skipped")
 		retries   = flag.Int("retries", 0, "extra attempts for a failed run")
 		faultArg  = flag.String("faults", "",
 			"inject a fault plan into every run: a preset ("+strings.Join(faults.PresetNames(), ", ")+") or a plan JSON file")
@@ -141,6 +143,14 @@ func main() {
 		}
 		defer m.Close()
 		opt.Manifest = m
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.DefaultCacheEntries)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		opt.Store = st
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

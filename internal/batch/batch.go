@@ -61,10 +61,27 @@ type Result struct {
 	// the run panicked, or the context error when cancelled before the
 	// job could run.
 	Err error
-	// Attempts counts executions, 0 for resumed or cancelled jobs.
+	// Attempts counts executions, 0 for resumed, cached, or cancelled
+	// jobs.
 	Attempts int
 	// Resumed marks a job satisfied from the resume manifest.
 	Resumed bool
+	// Cached marks a job satisfied from Options.Store.
+	Cached bool
+}
+
+// ResultStore caches completed results by content key, across processes
+// and forever: determinism (DESIGN.md §8) means a key's results never go
+// stale. *store.Store implements it; batch depends only on this
+// interface so the store package stays an optional layer above.
+//
+// The store is strictly an optimization: Get errors make the job run,
+// Put errors make it uncached — neither fails the batch.
+type ResultStore interface {
+	// Get returns the cached results for key, or ok=false on a miss.
+	Get(key string) (*runner.Results, bool, error)
+	// Put records res under key, overwriting any previous entry.
+	Put(key string, res *runner.Results) error
 }
 
 // Options tune a batch run.
@@ -82,6 +99,10 @@ type Options struct {
 	// (from LoadManifest); jobs whose key has a successful entry are not
 	// re-run — their results are rehydrated from the entry.
 	Resume map[string]Entry
+	// Store, if non-nil, is consulted before each job runs (a hit skips
+	// the run, like Resume but persistent and cross-process) and filled
+	// after each successful run. See ResultStore.
+	Store ResultStore
 }
 
 func (o Options) workers() int {
@@ -91,11 +112,18 @@ func (o Options) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// WorkerCount resolves the Workers setting the way Run and Executor do:
+// the value itself when positive, GOMAXPROCS otherwise. Exposed so
+// layers sizing their own pools against this one (internal/server's
+// worker slots) agree with it exactly.
+func (o Options) WorkerCount() int { return o.workers() }
+
 // Summary aggregates a batch run's outcome.
 type Summary struct {
 	Total     int
 	Executed  int
 	Resumed   int
+	Cached    int
 	Failed    int
 	Cancelled int
 	// FailedJobs lists the failed results (also present in the main
@@ -149,6 +177,21 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]Result, Summary) {
 			opt.Progress.Log("%s (resumed)", j.Tag)
 			continue
 		}
+		if opt.Store != nil {
+			res, ok, err := opt.Store.Get(results[i].Key)
+			if err != nil {
+				// The store is an optimization; a read error just runs
+				// the job.
+				opt.Progress.Log("%s: store read: %v", j.Tag, err)
+			}
+			if ok {
+				results[i].Res = res
+				results[i].Cached = true
+				sum.Cached++
+				opt.Progress.Log("%s (cached)", j.Tag)
+				continue
+			}
+		}
 		pending = append(pending, i)
 	}
 
@@ -182,6 +225,11 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]Result, Summary) {
 				results[i].Res = res
 				results[i].Attempts = attempts
 				results[i].Err = err
+				if err == nil && opt.Store != nil {
+					if perr := opt.Store.Put(results[i].Key, res); perr != nil {
+						opt.Progress.Log("%s: store write: %v", jobs[i].Tag, perr)
+					}
+				}
 				record(opt.Manifest, jobs[i].Cfg, results[i])
 			}
 		}()

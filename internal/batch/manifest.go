@@ -117,6 +117,13 @@ func (m *Manifest) Close() error {
 // and then succeeded on a later invocation resumes. A missing file is an
 // empty manifest, not an error — the first run of a sweep may pass
 // --resume unconditionally.
+//
+// A process killed mid-Append leaves a truncated final line; erroring on
+// it would poison -resume with exactly the manifest it exists to rescue.
+// An unparseable *final* line is therefore skipped with a warning on
+// stderr — the interrupted job simply re-runs and re-appends. Garbage
+// anywhere *before* the last line cannot come from a torn append and
+// still fails the load.
 func LoadManifest(path string) (map[string]Entry, error) {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
@@ -130,19 +137,30 @@ func LoadManifest(path string) (map[string]Entry, error) {
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
 	line := 0
+	// A parse failure is held back one iteration: only once another line
+	// follows do we know it was not a tail truncation.
+	var badErr error
+	badLine := 0
 	for sc.Scan() {
 		line++
+		if badErr != nil {
+			return nil, fmt.Errorf("batch: manifest %s:%d: %w", path, badLine, badErr)
+		}
 		if len(sc.Bytes()) == 0 {
 			continue
 		}
 		var e Entry
 		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
-			return nil, fmt.Errorf("batch: manifest %s:%d: %w", path, line, err)
+			badErr, badLine = err, line
+			continue
 		}
 		entries[e.Key] = e
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("batch: manifest %s: %w", path, err)
+	}
+	if badErr != nil {
+		fmt.Fprintf(os.Stderr, "batch: manifest %s:%d: skipping truncated final entry (%v)\n", path, badLine, badErr)
 	}
 	return entries, nil
 }

@@ -2,6 +2,7 @@ package batch
 
 import (
 	"context"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -132,6 +133,72 @@ func TestFailedEntriesAreNotResumable(t *testing.T) {
 	_, sum2 := Run(context.Background(), []Job{{Tag: "bad", Cfg: bad}}, Options{Resume: entries})
 	if sum2.Resumed != 0 || sum2.Failed != 1 {
 		t.Fatalf("failed entry was resumed: %+v", sum2)
+	}
+}
+
+// TestLoadManifestTruncatedFinalLine models a crash mid-append: the
+// file ends in a partial JSON line. The load must skip that line and
+// return every complete entry, so -resume recovers the sweep instead of
+// refusing the manifest it was built to rescue.
+func TestLoadManifestTruncatedFinalLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	jobs := tinyJobs()[:2]
+	m, err := CreateManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, sum := Run(context.Background(), jobs, Options{Workers: 1, Manifest: m})
+	if err := sum.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The torn append: a prefix of a third entry, no trailing newline.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":"0000","tag":"interrupted","status":"ok","results":{"Sent`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := LoadManifest(path)
+	if err != nil {
+		t.Fatalf("truncated final line poisoned the manifest: %v", err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("recovered %d entries, want 2", len(entries))
+	}
+
+	// The recovered entries must still resume.
+	second, sum2 := Run(context.Background(), jobs, Options{Resume: entries})
+	if sum2.Resumed != 2 || sum2.Executed != 0 {
+		t.Fatalf("summary after recovery = %+v, want 2 resumed", sum2)
+	}
+	for i := range jobs {
+		if string(marshal(t, first[i].Res)) != string(marshal(t, second[i].Res)) {
+			t.Errorf("job %d: recovered results differ", i)
+		}
+	}
+}
+
+// TestLoadManifestMidFileCorruption: garbage that is *not* the final
+// line cannot come from a torn append and must still fail the load.
+func TestLoadManifestMidFileCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	content := `{"key":"aa","status":"ok"}` + "\n" +
+		`GARBAGE NOT JSON` + "\n" +
+		`{"key":"bb","status":"ok"}` + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadManifest(path); err == nil {
+		t.Fatal("mid-file corruption loaded without error")
 	}
 }
 

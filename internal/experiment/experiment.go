@@ -80,6 +80,11 @@ type Options struct {
 	// Resume, when true, loads Manifest first and skips runs whose
 	// results are already recorded there.
 	Resume bool
+	// Store, if non-nil, is a persistent content-addressed result cache
+	// consulted before each run and filled after (see batch.ResultStore
+	// and internal/store). Unlike Resume it survives across processes
+	// and is shared with cmd/simd.
+	Store batch.ResultStore
 	// Context, when non-nil, cancels in-flight sweeps.
 	Context context.Context
 }
@@ -165,6 +170,7 @@ func runJobs(jobs []batch.Job, opt Options) ([]*runner.Results, error) {
 		Workers:  opt.Workers,
 		Retries:  opt.Retries,
 		Progress: batch.NewSink(opt.Progress),
+		Store:    opt.Store,
 	}
 	if opt.Manifest != "" {
 		if opt.Resume {

@@ -6,6 +6,7 @@
 package runner
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"ecgrid/internal/core"
@@ -67,6 +68,21 @@ type Results struct {
 	PagesDropped          uint64
 
 	Collector *metrics.Collector
+}
+
+// CanonicalJSON returns the results' canonical encoding: compact JSON
+// with a single trailing newline. The encoding is stable — Results is a
+// plain struct (fields in declaration order) whose only maps (PerKind,
+// Protocol) marshal with sorted keys — so it can serve as the on-disk
+// format of a content-addressed store: encode, decode, and re-encode
+// produce identical bytes, which is what lets a cache hit be
+// byte-identical to the run that populated it (internal/store).
+func (r *Results) CanonicalJSON() ([]byte, error) {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("runner: encode results: %w", err)
+	}
+	return append(b, '\n'), nil
 }
 
 // relaySender indirects a host's traffic entry point so CBR flows keep

@@ -1,0 +1,270 @@
+// Package store persists simulation results in a content-addressed,
+// crash-safe directory tree fronted by a bounded in-memory LRU cache.
+//
+// Keys are internal/batch's SHA-256 content keys: the hash of a
+// scenario's canonical JSON encoding. Because every simulation in this
+// repository is deterministic (DESIGN.md §8), a content key fully
+// identifies its results — a stored entry never goes stale, so the
+// store memoizes runs *forever* and a cache hit is exact, not
+// approximate. That property is what makes sharing one store between
+// the CLI tools (cmd/sweep, cmd/figures) and the cmd/simd daemon sound:
+// whichever computed a key first, everyone else reads it back.
+//
+// Layout: one file per key under a two-hex-character shard directory,
+//
+//	<root>/ab/abcdef….json
+//
+// so no single directory grows beyond ~1/256 of the population. Writes
+// go to a temp file in the shard directory and are renamed into place;
+// rename is atomic on POSIX filesystems, so readers — including readers
+// in other processes — observe either the complete entry or none, and a
+// crash mid-write leaves only a temp file that every read path ignores.
+// Concurrent writers of the same key are harmless: determinism means
+// they carry identical bytes, and the last rename wins.
+//
+// The value format is runner.(*Results).CanonicalJSON — stable across
+// encode/decode cycles — so GetBytes returns bytes identical to the ones
+// the original run produced, forever, across process restarts.
+package store
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"ecgrid/internal/runner"
+)
+
+// DefaultCacheEntries bounds the in-memory LRU front when Open is given
+// a non-positive capacity.
+const DefaultCacheEntries = 1024
+
+// Store is a content-addressed result store rooted at one directory.
+// All methods are safe for concurrent use, including by multiple
+// goroutines mixing reads and writes of the same keys.
+type Store struct {
+	root string
+
+	mu    sync.Mutex
+	max   int
+	ll    *list.List               // front = most recently used
+	cache map[string]*list.Element // key → element holding *entry
+}
+
+// entry is one LRU cell: the key and its immutable canonical bytes.
+type entry struct {
+	key  string
+	data []byte
+}
+
+// Open creates (if needed) and returns the store rooted at dir. The LRU
+// front holds up to cacheEntries results in memory; <= 0 uses
+// DefaultCacheEntries.
+func Open(dir string, cacheEntries int) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty root directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if cacheEntries <= 0 {
+		cacheEntries = DefaultCacheEntries
+	}
+	return &Store{
+		root:  dir,
+		max:   cacheEntries,
+		ll:    list.New(),
+		cache: make(map[string]*list.Element),
+	}, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+// ValidKey reports whether key has the shape of a content key: 64
+// lowercase hex characters. Every path below rejects other strings, so
+// a hostile key can never escape the root (no separators, no dots).
+func ValidKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// path returns the entry file for key: <root>/<key[:2]>/<key>.json.
+func (s *Store) path(key string) string {
+	return filepath.Join(s.root, key[:2], key+".json")
+}
+
+// GetBytes returns the canonical result bytes stored under key, or
+// ok=false if the key is absent. The returned slice is shared with the
+// cache and must not be modified.
+func (s *Store) GetBytes(key string) ([]byte, bool, error) {
+	if !ValidKey(key) {
+		return nil, false, fmt.Errorf("store: invalid key %q", key)
+	}
+	s.mu.Lock()
+	if el, ok := s.cache[key]; ok {
+		s.ll.MoveToFront(el)
+		data := el.Value.(*entry).data
+		s.mu.Unlock()
+		return data, true, nil
+	}
+	s.mu.Unlock()
+
+	data, err := os.ReadFile(s.path(key))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("store: %w", err)
+	}
+	s.remember(key, data)
+	return data, true, nil
+}
+
+// Get returns the results stored under key, decoded, or ok=false if the
+// key is absent. Each call decodes afresh, so callers may freely mutate
+// the returned value.
+func (s *Store) Get(key string) (*runner.Results, bool, error) {
+	data, ok, err := s.GetBytes(key)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	var res runner.Results
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, false, fmt.Errorf("store: decode %s: %w", key, err)
+	}
+	return &res, true, nil
+}
+
+// Put stores res under key, atomically: the entry is written to a temp
+// file in the key's shard directory and renamed into place, so a
+// concurrent or crashed Put never exposes a partial entry. Putting an
+// existing key overwrites it (with identical bytes, under the
+// determinism contract).
+func (s *Store) Put(key string, res *runner.Results) error {
+	if !ValidKey(key) {
+		return fmt.Errorf("store: invalid key %q", key)
+	}
+	data, err := res.CanonicalJSON()
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	dst := s.path(key)
+	dir := filepath.Dir(dst)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	// Any failure past this point must not leave the temp file behind.
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	s.remember(key, data)
+	return nil
+}
+
+// remember inserts (or refreshes) key in the LRU front, evicting the
+// least recently used entry beyond capacity.
+func (s *Store) remember(key string, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.cache[key]; ok {
+		el.Value.(*entry).data = data
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.cache[key] = s.ll.PushFront(&entry{key: key, data: data})
+	for s.ll.Len() > s.max {
+		back := s.ll.Back()
+		s.ll.Remove(back)
+		delete(s.cache, back.Value.(*entry).key)
+	}
+}
+
+// CacheLen returns the number of entries currently held by the
+// in-memory LRU front (bounded by Open's capacity).
+func (s *Store) CacheLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}
+
+// Scan calls fn once per stored key, in ascending key order. Temp files
+// from in-flight or crashed writes are ignored. fn returning an error
+// stops the scan and returns that error.
+func (s *Store) Scan(fn func(key string) error) error {
+	shards, err := os.ReadDir(s.root)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	var names []string
+	for _, sh := range shards {
+		if !sh.IsDir() || len(sh.Name()) != 2 {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.root, sh.Name()))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return fmt.Errorf("store: %w", err)
+		}
+		for _, f := range files {
+			key := strings.TrimSuffix(f.Name(), ".json")
+			if f.Type()&fs.ModeType != 0 || !strings.HasSuffix(f.Name(), ".json") || !ValidKey(key) {
+				continue // temp files, oddities
+			}
+			if key[:2] != sh.Name() {
+				continue // misfiled; not ours
+			}
+			names = append(names, key)
+		}
+	}
+	sort.Strings(names)
+	for _, key := range names {
+		if err := fn(key); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Len returns the number of complete entries on disk (in-flight temp
+// files excluded). It walks the shard directories, so it is a metrics
+// and tooling call, not a hot-path one.
+func (s *Store) Len() (int, error) {
+	n := 0
+	err := s.Scan(func(string) error { n++; return nil })
+	return n, err
+}

@@ -1,0 +1,246 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"ecgrid/internal/batch"
+	"ecgrid/internal/runner"
+	"ecgrid/internal/scenario"
+)
+
+// smallCfg is a scenario small enough to run in milliseconds.
+func smallCfg(seed int64) scenario.Config {
+	cfg := scenario.Default(scenario.ECGRID)
+	cfg.Hosts = 8
+	cfg.Flows = 2
+	cfg.Duration = 10
+	cfg.Seed = seed
+	return cfg
+}
+
+// fakeResults fabricates a distinguishable Results without running a
+// simulation, for tests that exercise storage mechanics, not sims.
+func fakeResults(i int) *runner.Results {
+	return &runner.Results{Cfg: smallCfg(int64(i)), Sent: i, Delivered: i / 2}
+}
+
+// fakeKey returns a syntactically valid content key for index i.
+func fakeKey(i int) string { return fmt.Sprintf("%064x", i) }
+
+func mustOpen(t *testing.T, cache int) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := mustOpen(t, 0)
+	cfg := smallCfg(1)
+	key := batch.Key(cfg)
+	res := runner.Run(cfg)
+	want, err := res.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok, err := s.Get(key); err != nil || ok {
+		t.Fatalf("Get before Put = ok=%v err=%v, want miss", ok, err)
+	}
+	if err := s.Put(key, res); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.GetBytes(key)
+	if err != nil || !ok {
+		t.Fatalf("GetBytes after Put = ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("stored bytes differ from CanonicalJSON")
+	}
+	dec, ok, err := s.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("Get after Put = ok=%v err=%v", ok, err)
+	}
+	re, err := dec.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(re, want) {
+		t.Fatalf("decode+re-encode is not canonical: store round-trip changes bytes")
+	}
+}
+
+// TestStoreVsDirectRunEquivalence is the store analog of
+// runner.TestSchedulerEquivalence: results served from the store must be
+// byte-identical to running the simulation directly — across a process
+// "restart" modeled by reopening the directory with a cold cache.
+func TestStoreVsDirectRunEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, proto := range []scenario.ProtocolKind{scenario.ECGRID, scenario.SPAN} {
+		t.Run(string(proto), func(t *testing.T) {
+			cfg := scenario.Default(proto)
+			cfg.Hosts = 12
+			cfg.Duration = 20
+			cfg.Seed = 7
+			key := batch.Key(cfg)
+
+			direct, err := runner.Run(cfg).CanonicalJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put(key, runner.Run(cfg)); err != nil {
+				t.Fatal(err)
+			}
+
+			cached, ok, err := s.GetBytes(key)
+			if err != nil || !ok {
+				t.Fatalf("GetBytes = ok=%v err=%v", ok, err)
+			}
+			if !bytes.Equal(cached, direct) {
+				t.Fatalf("store hit diverged from direct run")
+			}
+
+			// Reopen: a fresh Store over the same directory (cold LRU)
+			// must serve the same bytes from disk.
+			s2, err := Open(dir, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			again, ok, err := s2.GetBytes(key)
+			if err != nil || !ok {
+				t.Fatalf("reopened GetBytes = ok=%v err=%v", ok, err)
+			}
+			if !bytes.Equal(again, direct) {
+				t.Fatalf("reopened store diverged from direct run")
+			}
+		})
+	}
+}
+
+// TestConcurrentPutGet races writers and readers over a small key set;
+// run under -race (CI does) this is the store's thread-safety proof.
+func TestConcurrentPutGet(t *testing.T) {
+	s := mustOpen(t, 4) // capacity below key count: eviction races too
+	const keys = 8
+	const workers = 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := fakeKey((w + i) % keys)
+				if w%2 == 0 {
+					if err := s.Put(k, fakeResults((w+i)%keys)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				if _, _, err := s.GetBytes(k); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := 0; i < keys; i++ {
+		if _, ok, err := s.Get(fakeKey(i)); err != nil || !ok {
+			t.Fatalf("key %d after race: ok=%v err=%v", i, ok, err)
+		}
+	}
+}
+
+// TestCrashSafetyTempIgnored models a crash mid-Put: a partial temp file
+// in a shard directory must be invisible to Get, Scan, and Len.
+func TestCrashSafetyTempIgnored(t *testing.T) {
+	s := mustOpen(t, 0)
+	key := fakeKey(1)
+	if err := s.Put(key, fakeResults(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A torn write: temp file next to a real entry, and a whole shard
+	// containing nothing but a temp file.
+	shard := filepath.Dir(s.path(key))
+	if err := os.WriteFile(filepath.Join(shard, ".tmp-123456"), []byte(`{"partial`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	orphan := fakeKey(0xab)
+	if err := os.MkdirAll(filepath.Dir(s.path(orphan)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(filepath.Dir(s.path(orphan)), ".tmp-9"), []byte(`x`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if n, err := s.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = %d, %v; want 1 (temp files ignored)", n, err)
+	}
+	var scanned []string
+	if err := s.Scan(func(k string) error { scanned = append(scanned, k); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(scanned) != 1 || scanned[0] != key {
+		t.Fatalf("Scan = %v, want [%s]", scanned, key)
+	}
+	if _, ok, err := s.Get(orphan); err != nil || ok {
+		t.Fatalf("orphan shard Get = ok=%v err=%v, want clean miss", ok, err)
+	}
+}
+
+func TestLRUEvictionBounded(t *testing.T) {
+	s := mustOpen(t, 2)
+	const n = 5
+	for i := 0; i < n; i++ {
+		if err := s.Put(fakeKey(i), fakeResults(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.CacheLen(); got != 2 {
+		t.Fatalf("CacheLen = %d, want 2", got)
+	}
+	// Evicted entries still come back from disk (and re-enter the cache
+	// without growing it past capacity).
+	for i := 0; i < n; i++ {
+		if _, ok, err := s.Get(fakeKey(i)); err != nil || !ok {
+			t.Fatalf("key %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if got := s.CacheLen(); got != 2 {
+		t.Fatalf("CacheLen after re-reads = %d, want 2", got)
+	}
+	if got, err := s.Len(); err != nil || got != n {
+		t.Fatalf("disk Len = %d, %v; want %d", got, err, n)
+	}
+}
+
+func TestInvalidKeysRejected(t *testing.T) {
+	s := mustOpen(t, 0)
+	bad := []string{
+		"",
+		"abc",
+		"../../../../etc/passwd",
+		"ABCDEF0000000000000000000000000000000000000000000000000000000000", // uppercase
+		fakeKey(1) + "00", // too long
+	}
+	for _, k := range bad {
+		if err := s.Put(k, fakeResults(0)); err == nil {
+			t.Errorf("Put(%q) accepted an invalid key", k)
+		}
+		if _, _, err := s.GetBytes(k); err == nil {
+			t.Errorf("GetBytes(%q) accepted an invalid key", k)
+		}
+	}
+}
