@@ -1,0 +1,122 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ecgrid/internal/lint"
+)
+
+// A findings summary maps "kind name relpath" keys to counts, where kind
+// is "finding" (diagnostics per analyzer per file) or "suppress"
+// (//simlint: annotations per directive per file). The baseline file is
+// the summary serialized one key per line, sorted:
+//
+//	finding  <analyzer>  <relpath> <count>
+//	suppress <directive> <relpath> <count>
+//
+// Tracking suppressions alongside findings means a new //simlint:
+// annotation is just as visible in review as a new diagnostic — you
+// cannot silence an analyzer without the baseline (a committed file)
+// changing under you.
+type summary map[string]int
+
+// buildSummary derives the current summary from the run's diagnostics
+// and the annotation directives present in the analyzed files. Paths are
+// recorded relative to baseDir so the file is stable across checkouts.
+func buildSummary(pkgs []*lint.Package, diags []lint.Diagnostic, baseDir string) summary {
+	s := make(summary)
+	for _, d := range diags {
+		s[fmt.Sprintf("finding %s %s", d.Analyzer, relTo(baseDir, d.Pos.Filename))]++
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			for directive, n := range lint.DirectivesInFile(f) {
+				s[fmt.Sprintf("suppress %s %s", directive, relTo(baseDir, name))] += n
+			}
+		}
+	}
+	return s
+}
+
+func relTo(base, filename string) string {
+	if r, err := filepath.Rel(base, filename); err == nil && !strings.HasPrefix(r, "..") {
+		return filepath.ToSlash(r)
+	}
+	return filepath.ToSlash(filename)
+}
+
+// writeBaseline serializes the summary, sorted, with a regeneration hint.
+func writeBaseline(path string, s summary) error {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("# simlint findings baseline: one \"kind name relpath count\" per line.\n")
+	b.WriteString("# Regenerate with: go run ./cmd/simlint -write-baseline .simlint-baseline ./...\n")
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s %d\n", k, s[k])
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// readBaseline parses a baseline file. Blank lines and #-comments are
+// ignored; anything else must be "kind name relpath count".
+func readBaseline(path string) (summary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s := make(summary)
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 || (fields[0] != "finding" && fields[0] != "suppress") {
+			return nil, fmt.Errorf("%s:%d: malformed baseline line %q", path, i+1, line)
+		}
+		n, err := strconv.Atoi(fields[3])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("%s:%d: bad count in %q", path, i+1, line)
+		}
+		s[strings.Join(fields[:3], " ")] += n
+	}
+	return s, nil
+}
+
+// diffBaseline compares the current summary against the recorded one and
+// returns human-readable drift lines, new findings first. Empty means
+// exact match — the baseline must track reality in both directions, so
+// fixing a finding (or deleting an annotation) also requires
+// regenerating the file.
+func diffBaseline(base, cur summary) []string {
+	keys := make(map[string]bool, len(base)+len(cur))
+	for k := range base {
+		keys[k] = true
+	}
+	for k := range cur {
+		keys[k] = true
+	}
+	var grown, shrunk []string
+	for k := range keys {
+		b, c := base[k], cur[k]
+		switch {
+		case c > b:
+			grown = append(grown, fmt.Sprintf("new since baseline: %s %d (baseline %d)", k, c, b))
+		case c < b:
+			shrunk = append(shrunk, fmt.Sprintf("stale baseline entry: %s %d (now %d)", k, b, c))
+		}
+	}
+	sort.Strings(grown)
+	sort.Strings(shrunk)
+	return append(grown, shrunk...)
+}

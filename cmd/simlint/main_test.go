@@ -2,18 +2,24 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
-// TestRegistersAllFour pins the driver's registry: every analyzer of the
-// suite must be wired in, exactly once.
-func TestRegistersAllFour(t *testing.T) {
+// TestRegistersFullSuite pins the driver's registry: every analyzer of
+// the suite must be wired in, exactly once.
+func TestRegistersFullSuite(t *testing.T) {
 	want := map[string]bool{
-		"maprange":   false,
-		"walltime":   false,
-		"globalrand": false,
-		"floateq":    false,
+		"maprange":    false,
+		"walltime":    false,
+		"globalrand":  false,
+		"floateq":     false,
+		"framelease":  false,
+		"handlestale": false,
+		"rngstream":   false,
+		"ctxerr":      false,
 	}
 	as := analyzers()
 	if len(as) != len(want) {
@@ -51,6 +57,85 @@ func TestRunBadPattern(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"./no/such/dir"}, &stdout, &stderr); code != 2 {
 		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+// TestBaselineRoundTrip writes a baseline over the deliberately broken
+// fixture, re-checks against it (accounted findings pass), and then
+// verifies an empty baseline flags the same findings as drift.
+func TestBaselineRoundTrip(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "baseline")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-write-baseline", base, "testdata/badpkg"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-write-baseline exit = %d\nstderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "finding globalrand testdata/badpkg/") {
+		t.Fatalf("baseline missing the badpkg finding:\n%s", data)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-baseline", base, "testdata/badpkg"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("accounted finding failed the baseline check: exit %d\nstdout: %s\nstderr: %s",
+			code, stdout.String(), stderr.String())
+	}
+
+	empty := filepath.Join(t.TempDir(), "empty")
+	if err := os.WriteFile(empty, []byte("# nothing\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-baseline", empty, "testdata/badpkg"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("new finding passed an empty baseline: exit %d\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "new since baseline: finding globalrand") {
+		t.Errorf("drift output missing the new-finding line:\n%s", stdout.String())
+	}
+}
+
+// TestBaselineStaleEntryFails pins the two-way contract: an entry the
+// tree no longer justifies is drift too, so fixes force a regenerate.
+func TestBaselineStaleEntryFails(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "baseline")
+	stale := "finding globalrand testdata/badpkg/bad.go 99\nsuppress ordered gone/gone.go 2\n"
+	if err := os.WriteFile(base, []byte(stale), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-baseline", base, "testdata/badpkg"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("stale baseline passed: exit %d\nstdout: %s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "stale baseline entry: suppress ordered gone/gone.go") {
+		t.Errorf("drift output missing the stale-entry line:\n%s", stdout.String())
+	}
+}
+
+func TestMalformedBaseline(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "baseline")
+	if err := os.WriteFile(base, []byte("finding onlythree fields\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-baseline", base, "testdata/badpkg"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("malformed baseline: exit %d, want 2\nstderr: %s", code, stderr.String())
+	}
+}
+
+// TestRepoMatchesCommittedBaseline is the CI contract in miniature: the
+// committed .simlint-baseline must exactly account for the shipped
+// tree's findings and suppression annotations.
+func TestRepoMatchesCommittedBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repo from source")
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", "../..", "-baseline", ".simlint-baseline", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("baseline drift: exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
 	}
 }
 

@@ -218,6 +218,7 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]Result, Summary) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//simlint:ctx workers drain idxCh, which the ctx-aware feeder closes on cancellation
 		go func() {
 			defer wg.Done()
 			for i := range idxCh {

@@ -132,7 +132,7 @@ func LoadManifest(path string) (map[string]Entry, error) {
 	if err != nil {
 		return nil, fmt.Errorf("batch: manifest: %w", err)
 	}
-	defer f.Close()
+	defer f.Close() //simlint:err read-only file; Close cannot lose data
 	entries := map[string]Entry{}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
@@ -160,6 +160,7 @@ func LoadManifest(path string) (map[string]Entry, error) {
 		return nil, fmt.Errorf("batch: manifest %s: %w", path, err)
 	}
 	if badErr != nil {
+		//simlint:err best-effort stderr warning; a failed write must not fail the load
 		fmt.Fprintf(os.Stderr, "batch: manifest %s:%d: skipping truncated final entry (%v)\n", path, badLine, badErr)
 	}
 	return entries, nil

@@ -168,7 +168,7 @@ func (p *Protocol) Start() {
 	p.myGrid = p.host.Cell()
 	// Every active host broadcasts HELLO periodically; the phase is
 	// jittered per host.
-	phase := p.host.RNG().Uniform("core.hellophase", 0, p.opt.HelloPeriod*p.opt.HelloJitterFrac)
+	phase := p.host.RNG().Uniform(sim.StreamHelloPhase, 0, p.opt.HelloPeriod*p.opt.HelloJitterFrac)
 	p.helloTicker = sim.NewTicker(p.host.Engine(), p.opt.HelloPeriod, phase, p.helloTick)
 	// Initial state: all hosts active, exchange HELLOs, elect after one
 	// HELLO period (§3.1 step 2). The first HELLO is jittered so the
@@ -394,7 +394,7 @@ func (p *Protocol) sendHelloJittered(maxJitter float64) {
 		p.sendHello()
 		return
 	}
-	d := p.host.RNG().Uniform("core.hellojitter", 0, maxJitter)
+	d := p.host.RNG().Uniform(sim.StreamHelloJitter, 0, maxJitter)
 	p.host.Engine().Schedule(d, func() {
 		if p.stopped || p.host.Asleep() {
 			return

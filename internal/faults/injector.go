@@ -194,7 +194,7 @@ func (in *Injector) FrameJammed(from, to geom.Point) bool {
 		if j.DropProb >= 1 {
 			return true
 		}
-		if j.DropProb > 0 && in.rng.Uniform("faults.jam", 0, 1) < j.DropProb {
+		if j.DropProb > 0 && in.rng.Uniform(sim.StreamFaultJam, 0, 1) < j.DropProb {
 			return true
 		}
 	}
@@ -213,7 +213,7 @@ func (in *Injector) PageDropped() bool {
 		if l.DropProb >= 1 {
 			return true
 		}
-		if l.DropProb > 0 && in.rng.Uniform("faults.page", 0, 1) < l.DropProb {
+		if l.DropProb > 0 && in.rng.Uniform(sim.StreamFaultPaging, 0, 1) < l.DropProb {
 			return true
 		}
 	}

@@ -1,0 +1,448 @@
+// Package cfg builds intra-procedural control-flow graphs over the
+// standard library's go/ast and runs forward dataflow analyses on them.
+// It is the engine behind the lifetime- and staleness-checking analyzers
+// (framelease, handlestale): where the original simlint suite matched
+// single statements, these checks are assertions about *paths* — "every
+// path from this NewFrame reaches exactly one ReleaseFrame", "no path
+// reads this handle after Cancel without a reassignment in between" —
+// and need the statement order, branch structure, and loop back-edges
+// made explicit.
+//
+// The graph is deliberately lightweight: basic blocks hold the original
+// ast.Node statements (plus loose condition expressions) in execution
+// order, and edges cover if/else, for/range loops with break/continue
+// (labeled or not), switch/type-switch with fallthrough, select, goto,
+// and return. A `panic(...)` statement — and the well-known
+// never-return calls os.Exit, log.Fatal*, and runtime.Goexit — ends its
+// block with no successors, so facts on a panicking path never merge
+// into the exit state (a frame need not be released on a path that
+// dies).
+//
+// Function literals are NOT inlined: a FuncLit appearing inside a
+// statement is control-flow-opaque at this level (its body runs at some
+// other time). Analyzers analyze each literal's body as its own graph
+// and must skip FuncLit subtrees when transferring facts over a
+// statement.
+package cfg
+
+import (
+	"go/ast"
+)
+
+// Block is one basic block: a maximal straight-line sequence of
+// statements. Nodes holds ast.Stmt and bare ast.Expr entries (loop and
+// if conditions) in execution order.
+type Block struct {
+	// Index orders blocks by construction; reporting passes iterate in
+	// Index order so diagnostics are deterministic.
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// Graph is the control-flow graph of one function body. Entry starts
+// the body; Exit is a synthetic empty block every return (and the fall
+// off the end of the body) feeds into.
+type Graph struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+}
+
+// New builds the control-flow graph of a function body.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.cur = b.g.Entry
+	b.labels = make(map[string]*labelInfo)
+	b.stmtList(body.List)
+	// Falling off the end of the body is an implicit return.
+	b.edge(b.cur, b.g.Exit)
+	return b.g
+}
+
+// scope is one enclosing breakable/continuable construct.
+type scope struct {
+	label string
+	brk   *Block // break target
+	cont  *Block // continue target; nil for switch/select
+}
+
+// labelInfo tracks a label's block (created on demand by goto or by the
+// labeled statement itself).
+type labelInfo struct {
+	block *Block
+}
+
+type builder struct {
+	g      *Graph
+	cur    *Block
+	scopes []scope
+	labels map[string]*labelInfo
+	// pendingLabel carries a statement label into the loop/switch it
+	// annotates, so labeled break/continue resolve to the right scope.
+	pendingLabel string
+	// fallthroughTo is the next case body while building a switch
+	// clause.
+	fallthroughTo *Block
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// startBlock switches building to a fresh block WITHOUT linking it to
+// the current one (used after return/panic/goto: following statements
+// are unreachable until something jumps to them).
+func (b *builder) startBlock() {
+	b.cur = b.newBlock()
+}
+
+func (b *builder) labelBlock(name string) *Block {
+	li := b.labels[name]
+	if li == nil {
+		li = &labelInfo{block: b.newBlock()}
+		b.labels[name] = li
+	}
+	return li.block
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		b.edge(b.cur, lb)
+		b.cur = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		b.cur.Nodes = append(b.cur.Nodes, s.Cond)
+		cond := b.cur
+		after := b.newBlock()
+		then := b.newBlock()
+		b.edge(cond, then)
+		b.cur = then
+		b.stmtList(s.Body.List)
+		b.edge(b.cur, after)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.edge(b.cur, after)
+		} else {
+			b.edge(cond, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+		}
+		after := b.newBlock()
+		if s.Cond != nil {
+			b.edge(head, after)
+		}
+		cont := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			post.Nodes = append(post.Nodes, s.Post)
+			b.edge(post, head)
+			cont = post
+		}
+		body := b.newBlock()
+		b.edge(head, body)
+		b.scopes = append(b.scopes, scope{label: label, brk: after, cont: cont})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.edge(b.cur, cont)
+		b.scopes = b.scopes[:len(b.scopes)-1]
+		b.cur = after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		// The RangeStmt itself carries X and the Key/Value bindings;
+		// analyzers see it once per iteration.
+		head.Nodes = append(head.Nodes, s)
+		after := b.newBlock()
+		b.edge(head, after)
+		body := b.newBlock()
+		b.edge(head, body)
+		b.scopes = append(b.scopes, scope{label: label, brk: after, cont: head})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.edge(b.cur, head)
+		b.scopes = b.scopes[:len(b.scopes)-1]
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		if s.Tag != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Tag)
+		}
+		b.switchClauses(s.Body.List, label, false)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		b.cur.Nodes = append(b.cur.Nodes, s.Assign)
+		b.switchClauses(s.Body.List, label, false)
+
+	case *ast.SelectStmt:
+		b.switchClauses(s.Body.List, label, true)
+
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.edge(b.cur, b.g.Exit)
+		b.startBlock()
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.DeferStmt, *ast.GoStmt, *ast.AssignStmt, *ast.DeclStmt,
+		*ast.ExprStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.EmptyStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		if terminalStmt(s) {
+			b.startBlock()
+		}
+
+	default:
+		// Unknown statement kinds are treated as straight-line.
+		b.cur.Nodes = append(b.cur.Nodes, s)
+	}
+}
+
+// switchClauses builds the clause structure shared by switch,
+// type-switch (isSelect=false) and select (isSelect=true). head is the
+// current block when called.
+func (b *builder) switchClauses(clauses []ast.Stmt, label string, isSelect bool) {
+	head := b.cur
+	after := b.newBlock()
+	hasDefault := false
+
+	// First pass: create each clause's body block so fallthrough can
+	// target the next one.
+	bodies := make([]*Block, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+	}
+	for i, cs := range clauses {
+		body := bodies[i]
+		b.edge(head, body)
+		b.scopes = append(b.scopes, scope{label: label, brk: after})
+		b.cur = body
+		var stmts []ast.Stmt
+		switch cs := cs.(type) {
+		case *ast.CaseClause:
+			if cs.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cs.List {
+				body.Nodes = append(body.Nodes, e)
+			}
+			stmts = cs.Body
+		case *ast.CommClause:
+			if cs.Comm == nil {
+				hasDefault = true
+			} else {
+				body.Nodes = append(body.Nodes, cs.Comm)
+			}
+			stmts = cs.Body
+		}
+		if i+1 < len(clauses) {
+			b.fallthroughTo = bodies[i+1]
+		} else {
+			b.fallthroughTo = nil
+		}
+		b.stmtList(stmts)
+		b.fallthroughTo = nil
+		b.edge(b.cur, after)
+		b.scopes = b.scopes[:len(b.scopes)-1]
+	}
+	// A switch without a default (or an empty select) may execute no
+	// clause at all. A select without a default always runs one clause,
+	// but treating the no-clause edge as possible is a safe
+	// over-approximation either way.
+	if !hasDefault || len(clauses) == 0 {
+		b.edge(head, after)
+	}
+	_ = isSelect
+	b.cur = after
+}
+
+func (b *builder) branch(s *ast.BranchStmt) {
+	switch s.Tok.String() {
+	case "break":
+		for i := len(b.scopes) - 1; i >= 0; i-- {
+			sc := b.scopes[i]
+			if s.Label == nil || sc.label == s.Label.Name {
+				b.edge(b.cur, sc.brk)
+				b.startBlock()
+				return
+			}
+		}
+	case "continue":
+		for i := len(b.scopes) - 1; i >= 0; i-- {
+			sc := b.scopes[i]
+			if sc.cont == nil {
+				continue
+			}
+			if s.Label == nil || sc.label == s.Label.Name {
+				b.edge(b.cur, sc.cont)
+				b.startBlock()
+				return
+			}
+		}
+	case "goto":
+		if s.Label != nil {
+			b.edge(b.cur, b.labelBlock(s.Label.Name))
+		}
+		b.startBlock()
+		return
+	case "fallthrough":
+		if b.fallthroughTo != nil {
+			b.edge(b.cur, b.fallthroughTo)
+		}
+		b.startBlock()
+		return
+	}
+	// Unresolvable break/continue (malformed source): fall through as
+	// straight-line.
+	b.startBlock()
+}
+
+// terminalStmt reports whether the statement never returns control:
+// panic(...) and the conventional never-return calls. Purely syntactic —
+// the builder has no type information — but these names are
+// unambiguous in practice.
+func terminalStmt(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fn.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch pkg.Name + "." + fn.Sel.Name {
+		case "os.Exit", "log.Fatal", "log.Fatalf", "log.Fatalln", "runtime.Goexit":
+			return true
+		}
+	}
+	return false
+}
+
+// Solve runs a forward dataflow analysis over g to fixpoint and returns
+// the fact holding at the ENTRY of each reachable block. Analyzers then
+// make a deterministic reporting pass: walk Blocks in Index order,
+// re-apply transfer from each block's entry fact, and report as they
+// go.
+//
+//   - init is the fact at function entry.
+//   - clone must deep-copy a fact (transfer may mutate its argument).
+//   - join merges src into dst, reporting whether dst changed; it must
+//     be monotone over a finite-height lattice or Solve will not
+//     terminate.
+//   - transfer applies one Block node (a statement or a bare condition
+//     expression) to the fact and returns the outgoing fact.
+//
+// Blocks unreachable from Entry have no map entry.
+func Solve[F any](g *Graph, init F, clone func(F) F, join func(dst, src F) (F, bool), transfer func(n ast.Node, f F) F) map[*Block]F {
+	in := make(map[*Block]F, len(g.Blocks))
+	in[g.Entry] = init
+	queued := make([]bool, len(g.Blocks))
+	work := []*Block{g.Entry}
+	queued[g.Entry.Index] = true
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk.Index] = false
+		f := clone(in[blk])
+		for _, n := range blk.Nodes {
+			f = transfer(n, f)
+		}
+		for _, s := range blk.Succs {
+			cur, ok := in[s]
+			changed := false
+			if !ok {
+				in[s] = clone(f)
+				changed = true
+			} else if merged, ch := join(cur, f); ch {
+				in[s] = merged
+				changed = true
+			}
+			if changed && !queued[s.Index] {
+				queued[s.Index] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}
+
+// FuncBodies returns every function body in the file in source order:
+// declarations first at their position, then each function literal —
+// the unit the CFG analyzers iterate over. Literal bodies are returned
+// separately (and must be skipped while walking the enclosing body's
+// statements, see the package comment).
+func FuncBodies(f *ast.File) []*ast.BlockStmt {
+	var bodies []*ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				bodies = append(bodies, n.Body)
+			}
+		case *ast.FuncLit:
+			bodies = append(bodies, n.Body)
+		}
+		return true
+	})
+	return bodies
+}

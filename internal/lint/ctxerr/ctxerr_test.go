@@ -1,0 +1,13 @@
+package ctxerr_test
+
+import (
+	"testing"
+
+	"ecgrid/internal/lint/analysistest"
+	"ecgrid/internal/lint/ctxerr"
+)
+
+func TestCtxErr(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxerr.Analyzer,
+		"ecgrid/internal/server/cefix")
+}

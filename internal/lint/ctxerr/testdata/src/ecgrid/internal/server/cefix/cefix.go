@@ -1,0 +1,52 @@
+// Package cefix exercises the ctxerr analyzer's two checks: dropped
+// error returns and context-free goroutines in the service packages.
+package cefix
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+)
+
+func work() error             { return nil }
+func value() (int, error)     { return 0, nil }
+func count() int              { return 0 }
+func tick()                   {}
+func job(ctx context.Context) {}
+
+func handler(ctx context.Context) {
+	work()  // want `error result of work dropped`
+	value() // want `error result of value dropped`
+	count() // no error result
+
+	if err := work(); err != nil { // handled
+		_ = err
+	}
+	_ = work() // explicitly discarded: a visible decision, not flagged
+
+	defer work() // want `error result of work dropped`
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "x") // in-memory writer: infallible
+	b.WriteString("y")   // method on *strings.Builder: infallible
+	var buf bytes.Buffer
+	buf.WriteString("z") // method on *bytes.Buffer: infallible
+
+	go tick()                    // want `goroutine launched without the request context`
+	go job(ctx)                  // context threaded through
+	go func() { <-ctx.Done() }() // context captured by the closure
+	go tick()                    //simlint:ctx lifetime bounded by the worker channel close
+	work()                       //simlint:err response write; client already gone
+}
+
+func noContext() {
+	go tick() // enclosing function has no context: out of scope
+}
+
+func goroutineDropsError(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+		work() // want `error result of work dropped`
+	}()
+}

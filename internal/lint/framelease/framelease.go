@@ -1,0 +1,447 @@
+// Package framelease checks pooled radio-frame lifetimes with a
+// path-sensitive dataflow analysis over the internal/lint/cfg engine.
+//
+// `Channel.NewFrame` hands out a pool-owned *radio.Frame; the pool's
+// zero-allocation guarantee (DESIGN.md §7) holds only if every frame
+// eventually flows back through exactly one `ReleaseFrame` or is handed
+// to a consumer that assumes ownership (the send queue, a transmission,
+// the caller via return). The analyzer tracks each local variable bound
+// directly to a NewFrame result through the function's control-flow
+// graph and reports:
+//
+//   - a path that reaches function exit with the frame still owned
+//     (leak — the pool never gets it back);
+//   - a second ReleaseFrame on a path where it was already released
+//     (double-free: the frame is re-pooled twice and aliased);
+//   - a ReleaseFrame after ownership was handed off, or a handoff after
+//     release (use of a frame the function no longer owns);
+//   - a NewFrame result dropped on the floor (bare call statement or
+//     assignment to _).
+//
+// Ownership transfers are recognized by callee name — Send, SendFrame,
+// pushBack, pushFront, Enqueue, Push — plus returning the frame,
+// storing it into a field/index/channel, taking its address, or placing
+// it in a composite literal (after which the function is no longer the
+// sole owner and the analysis stops tracking). Passing the frame to any
+// other call is a borrow: Deliver(f) followed by ReleaseFrame(f) is the
+// radio's own idiom and stays legal.
+//
+// False positives (e.g. ownership transferred through a helper the
+// analyzer cannot see) are annotated at the NewFrame line:
+//
+//	f := c.NewFrame(...) //simlint:leased stored in tx table, released in endTransmission
+package framelease
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ecgrid/internal/lint"
+	"ecgrid/internal/lint/cfg"
+)
+
+// Analyzer is the framelease check.
+var Analyzer = &lint.Analyzer{
+	Name: "framelease",
+	Doc:  "checks that every pooled NewFrame result is released or handed off exactly once on every path",
+	Run:  run,
+}
+
+// scope: the radio package owning the pool plus every simulation tree
+// that sends frames through it.
+func inScope(path string) bool {
+	return lint.InScope(path, lint.SimPackages) ||
+		lint.InScope(path, []string{"ecgrid/internal/radio"})
+}
+
+// handoffNames are callees that take ownership of a frame argument.
+var handoffNames = map[string]bool{
+	"Send":      true,
+	"SendFrame": true,
+	"pushBack":  true,
+	"pushFront": true,
+	"Enqueue":   true,
+	"Push":      true,
+}
+
+// Ownership states. The dataflow fact is a may-set: at a merge point a
+// variable can carry several bits, one per incoming path.
+const (
+	owned    uint8 = 1 << iota // holds the pool's lease
+	released                   // returned to the pool
+	handed                     // ownership transferred away
+)
+
+type fact map[types.Object]uint8
+
+func cloneFact(f fact) fact {
+	c := make(fact, len(f))
+	for k, v := range f {
+		c[k] = v
+	}
+	return c
+}
+
+func joinFact(dst, src fact) (fact, bool) {
+	changed := false
+	for k, v := range src {
+		if dst[k]|v != dst[k] {
+			dst[k] |= v
+			changed = true
+		}
+	}
+	return dst, changed
+}
+
+func run(pass *lint.Pass) error {
+	if !inScope(pass.Pkg.Path) {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, body := range cfg.FuncBodies(f) {
+			checkBody(pass, body)
+		}
+	}
+	return nil
+}
+
+// checkBody analyzes one function body. Nested function literals are
+// control-flow-opaque here (they run later); cfg.FuncBodies returns
+// them separately, and the transfer function skips their subtrees.
+func checkBody(pass *lint.Pass, body *ast.BlockStmt) {
+	a := &analysis{
+		pass:    pass,
+		origins: make(map[types.Object]token.Pos),
+	}
+	g := cfg.New(body)
+	transfer := func(n ast.Node, f fact) fact { return a.transfer(n, f, nil) }
+	in := cfg.Solve(g, fact{}, cloneFact, joinFact, transfer)
+	if !a.sawNewFrame {
+		return // no frame activity anywhere in this function
+	}
+
+	// Deterministic reporting pass: re-run each reachable block from its
+	// solved entry fact with reporting enabled, in block-index order.
+	reported := make(map[string]bool)
+	reportf := func(pos token.Pos, format string, args ...any) {
+		key := pass.Pkg.Fset.Position(pos).String() + format
+		if reported[key] {
+			return
+		}
+		reported[key] = true
+		pass.Reportf(pos, format, args...)
+	}
+	for _, blk := range g.Blocks {
+		f, ok := in[blk]
+		if !ok {
+			continue // unreachable
+		}
+		f = cloneFact(f)
+		for _, n := range blk.Nodes {
+			f = a.transfer(n, f, reportf)
+		}
+		if blk == g.Exit {
+			continue
+		}
+		// A block flowing into Exit ends a path: anything still owned
+		// there leaks. (Exit itself is empty; checking predecessors via
+		// the edge keeps the leak attributed to the path's final fact.)
+		for _, s := range blk.Succs {
+			if s != g.Exit {
+				continue
+			}
+			for obj, st := range f {
+				if st&owned != 0 {
+					reportf(a.origins[obj],
+						"pooled frame %s may not be released on every path: add ReleaseFrame, hand it off, or annotate //simlint:leased with a justification",
+						obj.Name())
+				}
+			}
+		}
+	}
+}
+
+type analysis struct {
+	pass *lint.Pass
+	// origins records where each tracked variable acquired its lease,
+	// for leak reports.
+	origins map[types.Object]token.Pos
+	// sawNewFrame gates the reporting pass: functions that never touch
+	// the pool are skipped.
+	sawNewFrame bool
+}
+
+type reporter func(pos token.Pos, format string, args ...any)
+
+// transfer applies one CFG node to the fact. With report == nil it only
+// computes facts (solver phase); otherwise it also emits diagnostics.
+func (a *analysis) transfer(n ast.Node, f fact, report reporter) fact {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		a.assign(n, f, report)
+	case *ast.ExprStmt:
+		if call, ok := n.X.(*ast.CallExpr); ok {
+			if a.isNewFrame(call) && !a.pass.Suppressed(n, "leased") {
+				if report != nil {
+					report(call.Pos(), "NewFrame result dropped: the pooled frame is never released")
+				}
+			} else {
+				a.call(call, f, report)
+			}
+		} else {
+			a.scanUses(n.X, f)
+		}
+	case *ast.DeferStmt:
+		// defer c.ReleaseFrame(f) releases on every path out of the
+		// function; model it as an immediate release.
+		a.call(n.Call, f, report)
+	case *ast.GoStmt:
+		a.call(n.Call, f, report)
+	case *ast.ReturnStmt:
+		for _, res := range n.Results {
+			if obj := a.trackedIdent(res, f); obj != nil {
+				f[obj] = handed
+			} else {
+				a.scanUses(res, f)
+			}
+		}
+	case *ast.SendStmt:
+		if obj := a.trackedIdent(n.Value, f); obj != nil {
+			f[obj] = handed
+		}
+	case ast.Stmt:
+		a.scanUses(n, f)
+	case ast.Expr:
+		a.scanUses(n, f)
+	}
+	return f
+}
+
+// assign handles x := NewFrame(...), aliasing, and stores.
+func (a *analysis) assign(n *ast.AssignStmt, f fact, report reporter) {
+	// Single-value forms only: multi-assign from NewFrame cannot occur
+	// (one result), and tracked frames on the RHS of multi-assigns are
+	// handled by the generic cases below.
+	if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+		if call, ok := n.Rhs[0].(*ast.CallExpr); ok && a.isNewFrame(call) {
+			lhs := n.Lhs[0]
+			if id, ok := lhs.(*ast.Ident); ok {
+				if id.Name == "_" {
+					if !a.pass.Suppressed(n, "leased") && report != nil {
+						report(call.Pos(), "NewFrame result dropped: the pooled frame is never released")
+					}
+					return
+				}
+				obj := a.defOrUse(id)
+				if obj != nil {
+					if a.pass.Suppressed(n, "leased") {
+						return // annotated: trust the justification
+					}
+					if _, seen := a.origins[obj]; !seen {
+						a.origins[obj] = call.Pos()
+					}
+					f[obj] = owned
+					return
+				}
+			}
+			// NewFrame assigned straight into a field/index: shared
+			// storage takes ownership; nothing to track.
+			return
+		}
+		// Alias: y := x or y = x where x is tracked. Ownership moves to
+		// y; x stops being the owner.
+		if src := a.trackedIdent(n.Rhs[0], f); src != nil {
+			if id, ok := n.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+				if dst := a.defOrUse(id); dst != nil {
+					f[dst] = f[src]
+					if _, seen := a.origins[dst]; !seen {
+						a.origins[dst] = a.origins[src]
+					}
+					f[src] = handed
+					return
+				}
+			}
+			// Stored into a field, slice element, or map: the store
+			// takes ownership.
+			f[src] = handed
+			return
+		}
+	}
+	for _, rhs := range n.Rhs {
+		a.scanUses(rhs, f)
+	}
+	// Reassigning a tracked variable drops its old lease state: the
+	// variable now holds something else. A still-owned old value is a
+	// leak, surfaced when the owned bit merged along this path reaches
+	// exit — here we can only reset tracking.
+	for _, lhs := range n.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			if obj := a.defOrUse(id); obj != nil {
+				if _, tracked := f[obj]; tracked {
+					delete(f, obj)
+				}
+			}
+		}
+	}
+}
+
+// call applies one call expression: ReleaseFrame transitions, handoffs,
+// and borrows of tracked frames, including calls nested in arguments.
+func (a *analysis) call(call *ast.CallExpr, f fact, report reporter) {
+	name := calleeName(call)
+	switch {
+	case name == "ReleaseFrame" && len(call.Args) == 1:
+		if obj := a.trackedIdent(call.Args[0], f); obj != nil {
+			st := f[obj]
+			if report != nil {
+				if st&released != 0 {
+					report(call.Pos(), "double ReleaseFrame of %s: already released on this path", obj.Name())
+				}
+				if st&handed != 0 {
+					report(call.Pos(), "ReleaseFrame of %s after ownership was handed off", obj.Name())
+				}
+			}
+			f[obj] = released
+			return
+		}
+	case handoffNames[name]:
+		for _, arg := range call.Args {
+			if obj := a.trackedIdent(arg, f); obj != nil {
+				st := f[obj]
+				if report != nil && st&released != 0 {
+					report(call.Pos(), "%s of %s after it was released to the pool", name, obj.Name())
+				}
+				f[obj] = handed
+			} else {
+				a.scanUses(arg, f)
+			}
+		}
+		return
+	}
+	// Unknown call: arguments are borrows (state unchanged), but taking
+	// the address or embedding in a composite literal escapes.
+	for _, arg := range call.Args {
+		if a.trackedIdent(arg, f) != nil {
+			continue // plain borrow
+		}
+		a.scanUses(arg, f)
+	}
+	// Nested calls in the function expression (rare) and arguments.
+	for _, arg := range call.Args {
+		if inner, ok := arg.(*ast.CallExpr); ok {
+			a.call(inner, f, report)
+		}
+	}
+}
+
+// scanUses walks an expression/statement subtree (skipping function
+// literals) for escapes of tracked variables: &x, composite literals,
+// and nested calls are conservative ownership transfers.
+func (a *analysis) scanUses(n ast.Node, f fact) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Closures capturing the frame escape it: stop tracking.
+			for obj := range f {
+				if capturedIn(n, obj, a.pass.Pkg.Info) {
+					f[obj] = handed
+				}
+			}
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if obj := a.trackedIdent(n.X, f); obj != nil {
+					f[obj] = handed
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				e := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				if obj := a.trackedIdent(e, f); obj != nil {
+					f[obj] = handed
+				}
+			}
+		}
+		return true
+	})
+}
+
+// capturedIn reports whether the function literal references obj.
+func capturedIn(lit *ast.FuncLit, obj types.Object, info *types.Info) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// trackedIdent resolves e to a tracked variable's object, or nil.
+func (a *analysis) trackedIdent(e ast.Expr, f fact) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := a.defOrUse(id)
+	if obj == nil {
+		return nil
+	}
+	if _, tracked := f[obj]; tracked {
+		return obj
+	}
+	return nil
+}
+
+func (a *analysis) defOrUse(id *ast.Ident) types.Object {
+	info := a.pass.Pkg.Info
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// isNewFrame reports whether call is Channel.NewFrame: a method call
+// named NewFrame whose single result is a *Frame. The shape is matched
+// by name plus result type so fixture packages with their own mini
+// Frame/Channel types exercise the analyzer without importing the real
+// radio package.
+func (a *analysis) isNewFrame(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "NewFrame" {
+		return false
+	}
+	tv, ok := a.pass.Pkg.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	ptr, ok := tv.Type.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Name() != "Frame" {
+		return false
+	}
+	a.sawNewFrame = true
+	return true
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}

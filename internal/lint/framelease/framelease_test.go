@@ -1,0 +1,23 @@
+package framelease_test
+
+import (
+	"testing"
+
+	"ecgrid/internal/lint/analysistest"
+	"ecgrid/internal/lint/framelease"
+)
+
+func TestFrameLease(t *testing.T) {
+	analysistest.Run(t, "testdata", framelease.Analyzer,
+		"ecgrid/internal/radio/flfix")
+}
+
+// TestSeededTailDropDefect is the acceptance check that the analyzer
+// catches a deliberately dropped ReleaseFrame on one path: the flseed
+// fixture is the real radio Send tail-drop code with its release
+// removed, and the embedded want assertion fails this test if the
+// analyzer misses the leak.
+func TestSeededTailDropDefect(t *testing.T) {
+	analysistest.Run(t, "testdata", framelease.Analyzer,
+		"ecgrid/internal/radio/flseed")
+}

@@ -1,0 +1,136 @@
+// Package flfix exercises the framelease analyzer against mini
+// Channel/Frame types mirroring internal/radio's pool API (fixtures
+// cannot import the real module packages; the analyzer matches the
+// NewFrame/*Frame shape by name and result type).
+package flfix
+
+type Frame struct {
+	Kind string
+}
+
+type Channel struct{ limit int }
+
+func (c *Channel) NewFrame(kind string) *Frame { return &Frame{Kind: kind} }
+func (c *Channel) ReleaseFrame(f *Frame)       {}
+func (c *Channel) Send(src int, f *Frame)      {}
+func (c *Channel) Deliver(f *Frame)            {}
+
+type queue struct{ items []*Frame }
+
+func (q *queue) pushBack(f *Frame) { q.items = append(q.items, f) }
+
+func helper(f *Frame) {}
+
+func cleanRelease(c *Channel) {
+	f := c.NewFrame("a")
+	c.ReleaseFrame(f)
+}
+
+func cleanHandoff(c *Channel) {
+	f := c.NewFrame("a")
+	c.Send(1, f)
+}
+
+func cleanQueueHandoff(c *Channel, q *queue) {
+	f := c.NewFrame("a")
+	q.pushBack(f)
+}
+
+func leakEarlyReturn(c *Channel, drop bool) {
+	f := c.NewFrame("a") // want `pooled frame f may not be released on every path`
+	if drop {
+		return
+	}
+	c.ReleaseFrame(f)
+}
+
+func leakBranch(c *Channel, b bool) {
+	f := c.NewFrame("a") // want `pooled frame f may not be released on every path`
+	if b {
+		c.ReleaseFrame(f)
+	}
+}
+
+func doubleRelease(c *Channel, b bool) {
+	f := c.NewFrame("a")
+	if b {
+		c.ReleaseFrame(f)
+	}
+	c.ReleaseFrame(f) // want `double ReleaseFrame of f: already released on this path`
+}
+
+func releaseAfterHandoff(c *Channel) {
+	f := c.NewFrame("a")
+	c.Send(1, f)
+	c.ReleaseFrame(f) // want `ReleaseFrame of f after ownership was handed off`
+}
+
+func handoffAfterRelease(c *Channel) {
+	f := c.NewFrame("a")
+	c.ReleaseFrame(f)
+	c.Send(1, f) // want `Send of f after it was released to the pool`
+}
+
+func droppedBare(c *Channel) {
+	c.NewFrame("a") // want `NewFrame result dropped`
+}
+
+func droppedBlank(c *Channel) {
+	_ = c.NewFrame("a") // want `NewFrame result dropped`
+}
+
+func annotated(c *Channel) {
+	f := c.NewFrame("a") //simlint:leased helper stores it in the tx table; released at endTransmission
+	helper(f)
+}
+
+func returned(c *Channel) *Frame {
+	f := c.NewFrame("a")
+	return f
+}
+
+func borrowThenRelease(c *Channel) {
+	f := c.NewFrame("a")
+	c.Deliver(f) // borrow: the radio's deliver-then-release idiom
+	c.ReleaseFrame(f)
+}
+
+func loopClean(c *Channel) {
+	for i := 0; i < 3; i++ {
+		f := c.NewFrame("a")
+		c.ReleaseFrame(f)
+	}
+}
+
+func panicPathNeedsNoRelease(c *Channel, bad bool) {
+	f := c.NewFrame("a")
+	if bad {
+		panic("protocol bug")
+	}
+	c.ReleaseFrame(f)
+}
+
+func deferRelease(c *Channel, b bool) {
+	f := c.NewFrame("a")
+	defer c.ReleaseFrame(f)
+	if b {
+		return
+	}
+	helper(f)
+}
+
+func aliasRelease(c *Channel) {
+	f := c.NewFrame("a")
+	g := f
+	c.ReleaseFrame(g)
+}
+
+func escapeAddr(c *Channel, sink func(**Frame)) {
+	f := c.NewFrame("a")
+	sink(&f)
+}
+
+func escapeComposite(c *Channel) []*Frame {
+	f := c.NewFrame("a")
+	return append([]*Frame(nil), []*Frame{f}...)
+}

@@ -1,0 +1,31 @@
+// Package flseed reproduces internal/radio's Send tail-drop path with
+// the ReleaseFrame deliberately removed: when the queue is full the
+// frame is dropped but never returned to the pool. This is the
+// seeded-defect acceptance fixture — framelease must catch exactly this
+// mutation of the real code.
+package flseed
+
+type Frame struct{ Bytes int }
+
+type Channel struct{ limit int }
+
+type queued struct{ frame *Frame }
+
+type queue struct{ items []queued }
+
+func (q *queue) len() int          { return len(q.items) }
+func (q *queue) pushBack(x queued) { q.items = append(q.items, x) }
+
+func (c *Channel) NewFrame(bytes int) *Frame { return &Frame{Bytes: bytes} }
+func (c *Channel) ReleaseFrame(f *Frame)     {}
+
+// send mirrors radio.Channel.Send with the tail-drop release removed.
+func (c *Channel) send(q *queue, bytes int) {
+	f := c.NewFrame(bytes) // want `pooled frame f may not be released on every path`
+	if c.limit > 0 && q.len() >= c.limit {
+		// BUG (seeded): the real radio calls c.ReleaseFrame(f) here
+		// before dropping the frame.
+		return
+	}
+	q.pushBack(queued{frame: f})
+}

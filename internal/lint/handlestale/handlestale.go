@@ -1,0 +1,233 @@
+// Package handlestale checks the generation-counter handle discipline
+// around the pooled event engine (DESIGN.md §7): after canceling the
+// event behind a `sim.Handle` *field*, the owner must zero or reassign
+// the field before the function returns, and must not read it again on
+// the same path. A handle that survives its Cancel points at a pooled
+// event that will be recycled; a later Reschedule or Cancel through it
+// is at best a silent no-op and at worst re-targets an unrelated event
+// once the generation counter wraps into a newly scheduled one.
+//
+// The canonical idiom the analyzer pins (internal/node/node.go,
+// internal/spatial/spatial.go):
+//
+//	h.engine.Cancel(h.cellEv)
+//	h.cellEv = sim.Handle{}
+//
+// Only selector expressions (fields) are tracked: a local handle dies
+// with its stack frame, so cancel-and-return on a local is harmless.
+// The analysis is a may-analysis over the control-flow graph — a path
+// that cancels and a path that doesn't merge into "maybe canceled", and
+// any read or fall-off-the-end on the canceled side is reported.
+//
+// Deliberate exceptions carry an annotation on the Cancel line:
+//
+//	//simlint:stale <one-line justification>
+package handlestale
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ecgrid/internal/lint"
+	"ecgrid/internal/lint/cfg"
+)
+
+// Analyzer is the handlestale check.
+var Analyzer = &lint.Analyzer{
+	Name: "handlestale",
+	Doc:  "checks that canceled sim.Handle fields are zeroed before return and never read after Cancel",
+	Run:  run,
+}
+
+// fact maps the canceled field's textual key (types.ExprString) to the
+// position of the Cancel that dirtied it.
+type fact map[string]token.Pos
+
+func cloneFact(f fact) fact {
+	c := make(fact, len(f))
+	for k, v := range f {
+		c[k] = v
+	}
+	return c
+}
+
+// joinFact unions (may-analysis): a field canceled on any incoming path
+// is dirty. The recorded position is the earliest token.Pos for
+// determinism when two Cancels merge.
+func joinFact(dst, src fact) (fact, bool) {
+	changed := false
+	for k, p := range src {
+		if old, ok := dst[k]; !ok || p < old {
+			dst[k] = p
+			changed = true
+		}
+	}
+	return dst, changed
+}
+
+func run(pass *lint.Pass) error {
+	if !lint.InScope(pass.Pkg.Path, lint.SimPackages) {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, body := range cfg.FuncBodies(f) {
+			checkBody(pass, body)
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *lint.Pass, body *ast.BlockStmt) {
+	a := &analysis{pass: pass}
+	g := cfg.New(body)
+	in := cfg.Solve(g, fact{}, cloneFact, joinFact,
+		func(n ast.Node, f fact) fact { return a.transfer(n, f, nil) })
+	if !a.sawCancel {
+		return
+	}
+
+	reported := make(map[string]bool)
+	reportf := func(pos token.Pos, format string, args ...any) {
+		key := pass.Pkg.Fset.Position(pos).String() + format
+		if reported[key] {
+			return
+		}
+		reported[key] = true
+		pass.Reportf(pos, format, args...)
+	}
+	for _, blk := range g.Blocks {
+		f, ok := in[blk]
+		if !ok {
+			continue
+		}
+		f = cloneFact(f)
+		for _, n := range blk.Nodes {
+			f = a.transfer(n, f, reportf)
+		}
+		if blk == g.Exit {
+			continue
+		}
+		for _, s := range blk.Succs {
+			if s != g.Exit {
+				continue
+			}
+			for key, pos := range f {
+				reportf(pos,
+					"canceled handle %s is not cleared before return: assign sim.Handle{} (or annotate //simlint:stale)",
+					key)
+			}
+		}
+	}
+}
+
+type analysis struct {
+	pass      *lint.Pass
+	sawCancel bool
+}
+
+type reporter func(pos token.Pos, format string, args ...any)
+
+func (a *analysis) transfer(n ast.Node, f fact, report reporter) fact {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		// Reads on the RHS first, then LHS assignments clear.
+		for _, rhs := range n.Rhs {
+			a.checkReads(rhs, f, report)
+		}
+		for _, lhs := range n.Lhs {
+			if sel, ok := lhs.(*ast.SelectorExpr); ok {
+				delete(f, types.ExprString(sel))
+			}
+			// Reads inside an index expression on the LHS (m[h.x] = ...)
+			// still count.
+			if ix, ok := lhs.(*ast.IndexExpr); ok {
+				a.checkReads(ix.Index, f, report)
+			}
+		}
+	case *ast.ExprStmt:
+		a.stmtExpr(n.X, n, f, report)
+	case *ast.DeferStmt:
+		a.stmtExpr(n.Call, n, f, report)
+	case *ast.GoStmt:
+		a.stmtExpr(n.Call, n, f, report)
+	case ast.Stmt:
+		a.checkReads(n, f, report)
+	case ast.Expr:
+		a.checkReads(n, f, report)
+	}
+	return f
+}
+
+// stmtExpr handles an expression statement: a Cancel call marks its
+// handle dirty; anything else is scanned for reads.
+func (a *analysis) stmtExpr(e ast.Expr, at ast.Node, f fact, report reporter) {
+	if call, ok := e.(*ast.CallExpr); ok {
+		if key, ok := a.cancelKey(call); ok {
+			// Arguments other than the handle itself are still reads;
+			// re-canceling an already-dirty handle is a harmless no-op
+			// (generation counters make Cancel idempotent), so the
+			// handle argument is not treated as a read.
+			if !a.pass.Suppressed(at, "stale") {
+				a.sawCancel = true
+				if _, dirty := f[key]; !dirty {
+					f[key] = call.Pos()
+				}
+			}
+			return
+		}
+	}
+	a.checkReads(e, f, report)
+}
+
+// cancelKey matches `<recv>.Cancel(x.field)` where the argument's type
+// is the named type Handle from a package named "sim", and returns the
+// field's textual key.
+func (a *analysis) cancelKey(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Cancel" || len(call.Args) != 1 {
+		return "", false
+	}
+	arg, ok := call.Args[0].(*ast.SelectorExpr)
+	if !ok {
+		return "", false // locals die with the frame; only fields tracked
+	}
+	if !isSimHandle(a.pass.Pkg.Info.Types[arg].Type) {
+		return "", false
+	}
+	return types.ExprString(arg), true
+}
+
+func isSimHandle(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Handle" && obj.Pkg() != nil && obj.Pkg().Name() == "sim"
+}
+
+// checkReads reports any use of a dirty handle key inside the subtree,
+// skipping nested function literals (they execute later, typically as
+// the rescheduled callback that re-arms the field).
+func (a *analysis) checkReads(n ast.Node, f fact, report reporter) {
+	if n == nil || len(f) == 0 {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectorExpr:
+			key := types.ExprString(n)
+			if pos, dirty := f[key]; dirty {
+				if report != nil {
+					_ = pos
+					report(n.Pos(), "handle %s read after Cancel without reassignment on this path", key)
+				}
+				return false
+			}
+		}
+		return true
+	})
+}

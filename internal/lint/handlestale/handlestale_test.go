@@ -1,0 +1,13 @@
+package handlestale_test
+
+import (
+	"testing"
+
+	"ecgrid/internal/lint/analysistest"
+	"ecgrid/internal/lint/handlestale"
+)
+
+func TestHandleStale(t *testing.T) {
+	analysistest.Run(t, "testdata", handlestale.Analyzer,
+		"ecgrid/internal/sim")
+}

@@ -1,0 +1,89 @@
+// Fixture for the handlestale analyzer. The package is named sim so the
+// locally defined Handle type satisfies the analyzer's "named type
+// Handle from a package named sim" shape — fixtures cannot import the
+// real module packages.
+package sim
+
+type Handle struct{ gen uint64 }
+
+type Engine struct{}
+
+func (e *Engine) Cancel(h Handle)                      {}
+func (e *Engine) Schedule(d float64, fn func()) Handle { return Handle{} }
+func (e *Engine) Reschedule(h Handle, d float64) bool  { return false }
+func (e *Engine) At(t float64, fn func()) Handle       { return Handle{} }
+
+type owner struct {
+	engine *Engine
+	ev     Handle
+	aux    Handle
+}
+
+// stopClean is the canonical idiom: cancel, then zero.
+func (o *owner) stopClean() {
+	o.engine.Cancel(o.ev)
+	o.ev = Handle{}
+}
+
+// stopLeak cancels without clearing: the field keeps pointing at a
+// recycled pooled event.
+func (o *owner) stopLeak() {
+	o.engine.Cancel(o.ev) // want `canceled handle o\.ev is not cleared before return`
+}
+
+// readAfterCancel uses the stale handle before reassigning it.
+func (o *owner) readAfterCancel() {
+	o.engine.Cancel(o.ev)
+	o.engine.Reschedule(o.ev, 1) // want `handle o\.ev read after Cancel without reassignment`
+	o.ev = Handle{}
+}
+
+// branchLeak clears on one path only; the other reaches return dirty.
+func (o *owner) branchLeak(b bool) {
+	o.engine.Cancel(o.ev) // want `canceled handle o\.ev is not cleared before return`
+	if b {
+		o.ev = Handle{}
+	}
+}
+
+// rearm reassigns from a fresh Schedule — as good as zeroing.
+func (o *owner) rearm() {
+	o.engine.Cancel(o.ev)
+	o.ev = o.engine.Schedule(1, func() {})
+}
+
+// rearmBothBranches clears on every path.
+func (o *owner) rearmBothBranches(b bool) {
+	o.engine.Cancel(o.ev)
+	if b {
+		o.ev = Handle{}
+	} else {
+		o.ev = o.engine.At(2, func() {})
+	}
+}
+
+// localHandle is not tracked: a local dies with the stack frame.
+func (o *owner) localHandle() {
+	h := o.engine.Schedule(1, func() {})
+	o.engine.Cancel(h)
+}
+
+// annotated carries a justification for leaving the field dirty.
+func (o *owner) annotated() {
+	o.engine.Cancel(o.ev) //simlint:stale owner struct is discarded by the caller
+}
+
+// twoFields tracks each field independently.
+func (o *owner) twoFields() {
+	o.engine.Cancel(o.ev)
+	o.engine.Cancel(o.aux) // want `canceled handle o\.aux is not cleared before return`
+	o.ev = Handle{}
+}
+
+// callbackMayTouch: reads inside a function literal are not reads on
+// this path — the literal runs later, typically as the rescheduled
+// callback that re-arms the field.
+func (o *owner) callbackMayTouch() {
+	o.engine.Cancel(o.ev)
+	o.ev = o.engine.Schedule(1, func() { o.ev = Handle{} })
+}

@@ -18,6 +18,11 @@
 //	//simlint:ordered <one-line justification>   (maprange)
 //	//simlint:exact <one-line justification>     (floateq)
 //	//simlint:walltime <one-line justification>  (walltime)
+//	//simlint:leased <one-line justification>    (framelease)
+//	//simlint:stale <one-line justification>     (handlestale)
+//	//simlint:stream <one-line justification>    (rngstream)
+//	//simlint:err <one-line justification>       (ctxerr)
+//	//simlint:ctx <one-line justification>       (ctxerr)
 //
 // Like //go: directives, the comment must start exactly with
 // "//simlint:" — no space after the slashes.
@@ -94,6 +99,43 @@ func (p *Pass) Suppressed(n ast.Node, name string) bool {
 	pos := p.Pkg.Fset.Position(n.Pos())
 	lines := p.Pkg.directivesFor(pos.Filename)
 	return lines[pos.Line][name] || lines[pos.Line-1][name]
+}
+
+// Directives enumerates every suppression directive and the analyzer it
+// silences. The simlint findings baseline counts annotated exceptions
+// per file with this table, so adding a directive here is part of
+// adding an analyzer.
+var Directives = map[string]string{
+	"ordered":  "maprange",
+	"walltime": "walltime",
+	"exact":    "floateq",
+	"leased":   "framelease",
+	"stale":    "handlestale",
+	"stream":   "rngstream",
+	"err":      "ctxerr",
+	"ctx":      "ctxerr",
+}
+
+// DirectivesInFile scans one parsed file for //simlint: annotation
+// comments and returns the count per directive name (only names listed
+// in Directives are counted — an unknown name is likely a typo and is
+// ignored rather than silently tracked).
+func DirectivesInFile(f *ast.File) map[string]int {
+	counts := make(map[string]int)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+			if !ok {
+				continue
+			}
+			name, _, _ := strings.Cut(rest, " ")
+			name = strings.TrimSpace(name)
+			if _, known := Directives[name]; known {
+				counts[name]++
+			}
+		}
+	}
+	return counts
 }
 
 // directivePrefix introduces an annotation comment. The directive name
@@ -191,6 +233,16 @@ var FloatPackages = []string{
 	"ecgrid/internal/geom",
 	"ecgrid/internal/energy",
 	"ecgrid/internal/metrics",
+}
+
+// ServicePackages lists the package trees that face real concurrent
+// traffic (the HTTP daemon and the batch runner). The ctxerr analyzer
+// applies only here: dropped errors and context-free goroutines are
+// service-tier hazards, while the simulation loop is single-threaded
+// and panics on internal errors by design.
+var ServicePackages = []string{
+	"ecgrid/internal/server",
+	"ecgrid/internal/batch",
 }
 
 // InScope reports whether the import path lies in one of the listed

@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -60,6 +61,19 @@ func TestInScope(t *testing.T) {
 	for _, c := range cases {
 		if got := InScope(c.path, SimPackages); got != c.want {
 			t.Errorf("InScope(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+func TestLoadReportsAllTypeErrors(t *testing.T) {
+	_, err := LoadDir(filepath.Join("testdata", "src", "ecgrid", "internal", "brokenfix"), "ecgrid/internal/brokenfix")
+	if err == nil {
+		t.Fatal("loading the deliberately broken fixture succeeded")
+	}
+	msg := err.Error()
+	for _, want := range []string{"cannot use", "definitelyNotDefined"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error omits %q; the loader stopped at the first type error:\n%s", want, msg)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -59,6 +60,7 @@ func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
 	fset := token.NewFileSet()
 	imp := importer.ForCompiler(fset, "source", nil)
 	var pkgs []*Package
+	var loadErrs []error
 	for _, d := range dirs {
 		rel, err := filepath.Rel(modRoot, d)
 		if err != nil {
@@ -70,11 +72,17 @@ func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
 		}
 		pkg, err := loadPackage(fset, imp, d, importPath, cfg.Tests)
 		if err != nil {
-			return nil, err
+			// Keep loading the remaining packages so one broken package
+			// reports alongside the rest instead of masking them.
+			loadErrs = append(loadErrs, err)
+			continue
 		}
 		if pkg != nil {
 			pkgs = append(pkgs, pkg)
 		}
+	}
+	if len(loadErrs) > 0 {
+		return nil, errors.Join(loadErrs...)
 	}
 	return pkgs, nil
 }
@@ -144,10 +152,18 @@ func loadPackage(fset *token.FileSet, imp types.Importer, dir, importPath string
 		Uses:       make(map[*ast.Ident]types.Object),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 	}
-	conf := types.Config{Importer: imp}
-	tpkg, err := conf.Check(importPath, fset, files, info)
-	if err != nil {
-		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, err)
+	// Collect every type error in the package rather than stopping at
+	// the first: a broken file usually breaks in several places at once,
+	// and round-tripping one error per lint run is miserable. Setting
+	// conf.Error makes Check keep going after an error.
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(importPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s:\n%w", importPath, errors.Join(typeErrs...))
 	}
 	return &Package{
 		Path:  importPath,

@@ -1,0 +1,15 @@
+// Package rsuse checks that constants declared OUTSIDE the sim package
+// do not satisfy rngstream: only the central registry
+// (internal/sim/streams.go) may mint stream names.
+package rsuse
+
+type RNG struct{}
+
+func (r *RNG) Uniform(name string, lo, hi float64) float64 { return lo }
+
+const localPlace = "place" // a local const is not the registry
+
+func use(r *RNG) {
+	r.Uniform(localPlace, 0, 1) // want `RNG stream name must be a sim package constant`
+	r.Uniform("raw", 0, 1)      // want `RNG stream name must be a sim package constant`
+}

@@ -1,0 +1,9 @@
+// The RNG implementation file is exempt by suffix: its methods forward
+// the caller-supplied name parameter, which can never be a registry
+// constant at this level.
+package sim
+
+func (r *RNG) forwarded(name string) float64 {
+	r.Stream(name)
+	return r.Uniform(name, 0, 1)
+}

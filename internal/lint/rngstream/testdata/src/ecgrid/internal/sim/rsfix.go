@@ -1,0 +1,37 @@
+// Fixture for the rngstream analyzer. The package is named sim so its
+// constants count as registry constants, the same way the real
+// internal/sim/streams.go does.
+package sim
+
+import "fmt"
+
+type RNG struct{}
+
+func (r *RNG) Stream(name string) *RNG                     { return r }
+func (r *RNG) Uniform(name string, lo, hi float64) float64 { return lo }
+func (r *RNG) Intn(name string, n int) int                 { return 0 }
+func (r *RNG) Exp(name string, mean float64) float64       { return mean }
+func (r *RNG) Perm(name string, n int) []int               { return nil }
+
+const (
+	StreamPlacement = "place"
+	StreamMobility  = "mob.%d"
+)
+
+func use(r *RNG, i int) {
+	r.Uniform(StreamPlacement, 0, 1)         // registry constant
+	r.Stream(fmt.Sprintf(StreamMobility, i)) // Sprintf over a registry constant
+	r.Uniform("place", 0, 1)                 // want `RNG stream name must be a sim package constant`
+	r.Stream(fmt.Sprintf("mob.%d", i))       // want `RNG stream name must be a sim package constant`
+	name := "adhoc"
+	r.Intn(name, 3)         // want `RNG stream name must be a sim package constant`
+	r.Perm(pick(), 4)       // want `RNG stream name must be a sim package constant`
+	r.Exp("one-off", 2)     //simlint:stream scratch stream in a throwaway experiment
+	notRNG{}.Stream("free") // non-RNG receiver: out of scope
+}
+
+func pick() string { return "p" }
+
+type notRNG struct{}
+
+func (notRNG) Stream(name string) {}

@@ -1,0 +1,11 @@
+// Package brokenfix deliberately fails type-checking in two distinct
+// places; the loader test asserts both errors surface in one pass.
+package brokenfix
+
+func wrongReturn() int {
+	return "not an int"
+}
+
+func callsUndefined() {
+	definitelyNotDefined()
+}

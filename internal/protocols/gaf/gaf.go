@@ -298,7 +298,7 @@ func (p *Protocol) enterDiscovery() {
 	p.st = stateDiscovery
 	p.yielded = false
 	// Announce at a random point within the discovery window.
-	p.annTimer.Reset(p.host.RNG().Uniform("gaf.ann", 0, p.opt.Td))
+	p.annTimer.Reset(p.host.RNG().Uniform(sim.StreamGAFAnnounce, 0, p.opt.Td))
 	p.stateTimer.Reset(p.opt.Td)
 }
 

@@ -188,7 +188,7 @@ func (p *Protocol) Coordinator() bool { return p.coordinator }
 
 // Start launches the announcement, eligibility, and duty-cycle machinery.
 func (p *Protocol) Start() {
-	jitter := p.host.RNG().Uniform("span.phase", 0, p.opt.HelloPeriod/2)
+	jitter := p.host.RNG().Uniform(sim.StreamSpanPhase, 0, p.opt.HelloPeriod/2)
 	p.helloTicker = sim.NewTicker(p.host.Engine(), p.opt.HelloPeriod, jitter, p.helloTick)
 	p.checkTicker = sim.NewTicker(p.host.Engine(), p.opt.CheckPeriod, jitter/2, p.checkTick)
 	p.sendHello()
@@ -208,6 +208,7 @@ func (p *Protocol) Stopped() {
 	}
 	p.cycleTimer.Stop()
 	p.host.Engine().Cancel(p.pendingAnn)
+	p.pendingAnn = sim.Handle{}
 	for _, d := range p.disc { //simlint:ordered stops every timer; order-insensitive
 		d.timer.Stop()
 	}
@@ -396,7 +397,7 @@ func (p *Protocol) maybeVolunteer() {
 		return
 	}
 	rbrc := p.host.Battery().Rbrc(p.host.Now())
-	backoff := p.host.RNG().Uniform("span.backoff", 0, 1) * (1.5 - rbrc) * p.opt.CheckPeriod
+	backoff := p.host.RNG().Uniform(sim.StreamSpanBackoff, 0, 1) * (1.5 - rbrc) * p.opt.CheckPeriod
 	p.pendingAnn = p.host.Engine().Schedule(backoff, func() {
 		p.pendingAnn = sim.Handle{}
 		if p.stopped || p.coordinator || p.host.Asleep() {

@@ -50,6 +50,7 @@ type transmission struct {
 	rx      []reception // fixed-capacity: receiving maps hold &rx[i]
 	seq     uint64      // carrier-sense index key
 	attempt int         // retry count for unicast
+	live    int         // position in Channel.liveTx (swap-delete index)
 	endFn   func()      // endTransmission(self), bound once per pooled struct
 }
 
@@ -164,6 +165,11 @@ type Channel struct {
 	txFree    []*transmission
 	frameFree []*Frame
 	txSeq     uint64
+	// liveTx tracks every in-flight transmission (both carrier-sense
+	// modes, including ones whose sender has since detached) so Shutdown
+	// can return their frames to the pool. Removal is swap-delete via
+	// transmission.live.
+	liveTx []*transmission
 
 	// Sniffer, when non-nil, observes every transmission start. Tests
 	// and the trace layer use it.
@@ -354,7 +360,7 @@ func (c *Channel) maybeAccess(st *station) {
 		return
 	}
 	st.accessing = true
-	wait := c.cfg.DIFS + float64(c.rng.Intn("radio.backoff", st.cwSlots))*c.cfg.SlotTime
+	wait := c.cfg.DIFS + float64(c.rng.Intn(sim.StreamRadioBackoff, st.cwSlots))*c.cfg.SlotTime
 	c.engine.Schedule(wait, st.tryFn)
 }
 
@@ -431,6 +437,8 @@ func (c *Channel) startTransmission(st *station, q queued, pos geom.Point) {
 	} else {
 		c.active[tx] = struct{}{}
 	}
+	tx.live = len(c.liveTx)
+	c.liveTx = append(c.liveTx, tx)
 	c.counters.FramesSent++
 	c.counters.BytesOnAir += uint64(q.frame.Bytes)
 	kc := c.perKind[q.frame.Kind]
@@ -576,6 +584,11 @@ func (c *Channel) endTransmission(tx *transmission) {
 	} else {
 		delete(c.active, tx)
 	}
+	last := len(c.liveTx) - 1
+	c.liveTx[tx.live] = c.liveTx[last]
+	c.liveTx[tx.live].live = tx.live
+	c.liveTx[last] = nil
+	c.liveTx = c.liveTx[:last]
 	if st.transmitting == tx {
 		st.transmitting = nil
 	}
@@ -647,6 +660,8 @@ func (c *Channel) NewFrame(kind string, src, dst hostid.ID, bytes int, payload a
 		f = &Frame{pooled: true}
 	}
 	f.Kind, f.Src, f.Dst, f.Bytes, f.Payload = kind, src, dst, bytes, payload
+	f.leased = true
+	c.counters.FramesPooled++
 	return f
 }
 
@@ -656,8 +671,42 @@ func (c *Channel) ReleaseFrame(f *Frame) {
 	if f == nil || !f.pooled {
 		return
 	}
+	if !f.leased {
+		panic(fmt.Sprintf("radio: double ReleaseFrame of %v", f))
+	}
+	f.leased = false
 	f.Payload = nil
+	c.counters.FramesReleased++
 	c.frameFree = append(c.frameFree, f)
+}
+
+// OutstandingFrames is the number of pooled frames currently checked
+// out (leased by NewFrame and not yet released). During a run it counts
+// queued and in-flight frames; after Shutdown it must be zero — any
+// remainder is a frame some component minted and lost, the runtime
+// cross-check of the framelease static analyzer.
+func (c *Channel) OutstandingFrames() int {
+	return int(c.counters.FramesPooled - c.counters.FramesReleased)
+}
+
+// Shutdown returns every frame the channel still holds — queued at
+// stations or in flight on the air — to the pool. Call it once after
+// the engine has stopped (pending end-of-transmission events never fire
+// past the horizon, so their frames are reclaimed here); the channel
+// must not carry traffic afterwards.
+func (c *Channel) Shutdown() {
+	for _, id := range c.order {
+		st := c.stations[id]
+		for !st.queue.empty() {
+			c.ReleaseFrame(st.queue.popFront().frame)
+		}
+	}
+	for i, tx := range c.liveTx {
+		c.ReleaseFrame(tx.frame)
+		tx.frame = nil
+		c.liveTx[i] = nil
+	}
+	c.liveTx = c.liveTx[:0]
 }
 
 // TxFeedback is implemented by endpoints that want link-layer failure

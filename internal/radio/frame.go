@@ -30,6 +30,11 @@ type Frame struct {
 	// the channel reclaims them in ReleaseFrame. Literal-built frames
 	// leave it false and are garbage-collected as before.
 	pooled bool
+	// leased is set while a pooled frame is checked out of the pool.
+	// ReleaseFrame panics if it is already false — a double release
+	// would alias the frame across two future NewFrame calls, the
+	// hardest pool corruption to debug after the fact.
+	leased bool
 }
 
 // String summarizes the frame for traces.
@@ -59,4 +64,6 @@ type Counters struct {
 	BytesOnAir     uint64 // total bytes transmitted
 	DeferredAccess uint64 // times carrier sense found the medium busy
 	Jammed         uint64 // receptions killed by an injected jamming fault
+	FramesPooled   uint64 // NewFrame leases handed out
+	FramesReleased uint64 // pooled frames returned via ReleaseFrame
 }

@@ -1,0 +1,68 @@
+package radio
+
+import (
+	"testing"
+
+	"ecgrid/internal/hostid"
+)
+
+func TestFrameLeaseAccounting(t *testing.T) {
+	r := newRig(DefaultConfig())
+	r.addHost(0, 0, 0)
+	r.addHost(1, 100, 0)
+	r.engine.Schedule(0.001, func() {
+		f := r.channel.NewFrame("data", 0, hostid.Broadcast, 64, nil)
+		r.channel.Send(0, f)
+	})
+	r.engine.Run(1)
+	c := r.channel.Counters()
+	if c.FramesPooled != 1 || c.FramesReleased != 1 {
+		t.Fatalf("pooled/released = %d/%d, want 1/1", c.FramesPooled, c.FramesReleased)
+	}
+	if n := r.channel.OutstandingFrames(); n != 0 {
+		t.Fatalf("OutstandingFrames = %d after delivery, want 0", n)
+	}
+}
+
+func TestShutdownReclaimsQueuedAndInFlight(t *testing.T) {
+	r := newRig(DefaultConfig())
+	r.addHost(0, 0, 0)
+	r.addHost(1, 100, 0)
+	r.engine.Schedule(0.001, func() {
+		// One long frame on the air plus several queued behind it; the
+		// engine stops before any of them finishes.
+		for i := 0; i < 4; i++ {
+			r.channel.Send(0, r.channel.NewFrame("data", 0, hostid.Broadcast, 2000, nil))
+		}
+	})
+	r.engine.Run(0.002) // inside the first frame's airtime
+	if n := r.channel.OutstandingFrames(); n != 4 {
+		t.Fatalf("OutstandingFrames = %d mid-flight, want 4", n)
+	}
+	r.channel.Shutdown()
+	if n := r.channel.OutstandingFrames(); n != 0 {
+		t.Fatalf("OutstandingFrames = %d after Shutdown, want 0", n)
+	}
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	r := newRig(DefaultConfig())
+	f := r.channel.NewFrame("data", 0, 1, 64, nil)
+	r.channel.ReleaseFrame(f)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second ReleaseFrame did not panic")
+		}
+	}()
+	r.channel.ReleaseFrame(f)
+}
+
+func TestLiteralFramesIgnoreLeaseAccounting(t *testing.T) {
+	r := newRig(DefaultConfig())
+	f := &Frame{Kind: "data", Dst: 1, Bytes: 64}
+	r.channel.ReleaseFrame(f) // non-pooled: no-op, no panic
+	r.channel.ReleaseFrame(f)
+	if n := r.channel.OutstandingFrames(); n != 0 {
+		t.Fatalf("OutstandingFrames = %d with only literal frames, want 0", n)
+	}
+}

@@ -1,0 +1,38 @@
+package runner
+
+import (
+	"testing"
+
+	"ecgrid/internal/scenario"
+)
+
+// TestFig8aFrameLeakCanary is the runtime cross-check of the framelease
+// static analyzer: run the Fig 8a density sweep (GRID and ECGRID at the
+// fast-tier densities and horizon) and assert the frame pool's
+// outstanding-lease counter returns to zero once the radio is torn
+// down. Every pooled frame minted over the run — queued, retried, in
+// flight at the horizon, or dropped by faults and sleep transitions —
+// must be accounted for; one frame dropped on one path anywhere in the
+// stack fails this test.
+func TestFig8aFrameLeakCanary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs four full simulations")
+	}
+	for _, proto := range []scenario.ProtocolKind{scenario.GRID, scenario.ECGRID} {
+		for _, hosts := range []int{50, 200} {
+			cfg := scenario.Default(proto)
+			cfg.MaxSpeedMS = 1
+			cfg.Seed = 1
+			cfg.Hosts = hosts
+			cfg.Duration = 700 // the Fast Fig8a horizon
+			r := Run(cfg)
+			if r.Radio.FramesPooled == 0 {
+				t.Fatalf("%v n=%d: no pooled frames minted; canary is vacuous", proto, hosts)
+			}
+			if r.FrameLeaks != 0 {
+				t.Errorf("%v n=%d: %d pooled frames leaked (%d minted, %d released)",
+					proto, hosts, r.FrameLeaks, r.Radio.FramesPooled, r.Radio.FramesReleased)
+			}
+		}
+	}
+}

@@ -50,6 +50,11 @@ type Results struct {
 	LastAlive    float64 // final alive fraction
 
 	Radio radio.Counters
+	// FrameLeaks is the pooled-frame lease imbalance after radio
+	// teardown: frames minted by NewFrame that neither returned to the
+	// pool nor remained in a channel structure. Always zero in a
+	// leak-free build (see TestFig8aFrameLeakCanary).
+	FrameLeaks int
 	// PerKind splits the air usage by frame kind.
 	PerKind map[string]radio.KindCount
 	// Protocol aggregates per-host protocol counters by name.
@@ -194,8 +199,8 @@ func Run(cfg scenario.Config) *Results {
 
 	place := func(i int) geom.Point {
 		return geom.Point{
-			X: rng.Uniform("place", 0, cfg.AreaSize),
-			Y: rng.Uniform("place", 0, cfg.AreaSize),
+			X: rng.Uniform(sim.StreamPlacement, 0, cfg.AreaSize),
+			Y: rng.Uniform(sim.StreamPlacement, 0, cfg.AreaSize),
 		}
 	}
 
@@ -209,10 +214,10 @@ func Run(cfg scenario.Config) *Results {
 			// intervals for the area.
 			epoch := cfg.AreaSize / (2 * cfg.MaxSpeedMS)
 			mob = mobility.NewRandomDirection(area, start, cfg.MaxSpeedMS, epoch,
-				cfg.PauseTime, rng.Stream(fmt.Sprintf("mob.%d", i)))
+				cfg.PauseTime, rng.Stream(fmt.Sprintf(sim.StreamMobility, i)))
 		default:
 			mob = mobility.NewRandomWaypoint(area, start, cfg.MaxSpeedMS, cfg.PauseTime,
-				rng.Stream(fmt.Sprintf("mob.%d", i)))
+				rng.Stream(fmt.Sprintf(sim.StreamMobility, i)))
 		}
 		var bat *energy.Battery
 		if endpoint {
@@ -304,10 +309,10 @@ func Run(cfg scenario.Config) *Results {
 				dstIdx = cfg.Hosts + (srcIdx-cfg.Hosts+1)%cfg.EndpointHosts
 			}
 		} else {
-			srcIdx = rng.Intn("flows", total)
-			dstIdx = rng.Intn("flows", total)
+			srcIdx = rng.Intn(sim.StreamFlows, total)
+			dstIdx = rng.Intn(sim.StreamFlows, total)
 			for dstIdx == srcIdx {
-				dstIdx = rng.Intn("flows", total)
+				dstIdx = rng.Intn(sim.StreamFlows, total)
 			}
 		}
 		src := recs[srcIdx]
@@ -319,7 +324,7 @@ func Run(cfg scenario.Config) *Results {
 		srcHost := src.host
 		flow.Gate = func() bool { return !srcHost.Dead() && !srcHost.Crashed() }
 		snd := src.snd
-		phase := cfg.TrafficStart + rng.Uniform("flowphase", 0, 1/cfg.RatePerFlow)
+		phase := cfg.TrafficStart + rng.Uniform(sim.StreamFlowPhase, 0, 1/cfg.RatePerFlow)
 		flow.Start(engine, snd, phase)
 		flows = append(flows, flow)
 	}
@@ -357,6 +362,13 @@ func Run(cfg scenario.Config) *Results {
 	}
 	sample()
 
+	// Tear down the radio: queued and in-flight frames go back to the
+	// pool, after which every pooled frame must be accounted for. A
+	// nonzero remainder means some component minted a frame and lost it —
+	// the runtime counterpart of the framelease analyzer's static claim.
+	channel.Shutdown()
+	frameLeaks := channel.OutstandingFrames()
+
 	// Collect results.
 	res := &Results{
 		Cfg:           cfg,
@@ -372,6 +384,7 @@ func Run(cfg scenario.Config) *Results {
 		LastAlive:     col.Alive.Last(),
 		Radio:         channel.Counters(),
 		PerKind:       channel.PerKind(),
+		FrameLeaks:    frameLeaks,
 		Protocol:      make(map[string]uint64),
 
 		GatewayCrashes:        col.GatewayCrashes(),

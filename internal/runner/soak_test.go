@@ -47,8 +47,8 @@ func TestECGRIDSoakInvariants(t *testing.T) {
 	delivered := map[[2]int]bool{}
 	for i := 0; i < n; i++ {
 		mob := mobility.NewRandomWaypoint(area,
-			geom.Point{X: rng.Uniform("place", 0, 1000), Y: rng.Uniform("place", 0, 1000)},
-			1, 0, rng.Stream(fmt.Sprintf("mob.%d", i)))
+			geom.Point{X: rng.Uniform(sim.StreamPlacement, 0, 1000), Y: rng.Uniform(sim.StreamPlacement, 0, 1000)},
+			1, 0, rng.Stream(fmt.Sprintf(sim.StreamMobility, i)))
 		h := node.New(node.Config{
 			ID: hostid.ID(i), Engine: engine, RNG: rng, Channel: channel,
 			Bus: bus, Partition: part, Mobility: mob,
