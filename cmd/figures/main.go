@@ -23,6 +23,7 @@ import (
 	"syscall"
 
 	"ecgrid/internal/experiment"
+	"ecgrid/internal/scenario"
 	"ecgrid/internal/store"
 )
 
@@ -39,6 +40,8 @@ func main() {
 		resume   = flag.Bool("resume", false, "skip runs already recorded in the -manifest file")
 		storeDir = flag.String("store", "", "content-addressed result store directory shared with simd; cached runs are skipped")
 		quiet    = flag.Bool("q", false, "suppress per-run progress on stderr")
+		scenRef  = flag.String("scenario", "",
+			"overlay the generator spec of this scenario (a JSON file or scenarios/<name> entry) onto every figure run")
 	)
 	flag.Parse()
 
@@ -78,6 +81,18 @@ func main() {
 			os.Exit(1)
 		}
 		opt.Store = st
+	}
+	if *scenRef != "" {
+		loaded, err := scenario.ResolveRef(*scenRef)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if loaded.Gen.Empty() {
+			fmt.Fprintf(os.Stderr, "scenario %q carries no generator spec to overlay\n", *scenRef)
+			os.Exit(2)
+		}
+		opt.Gen = loaded.Gen
 	}
 	if !*quiet {
 		// The batch layer serializes calls, so this closure needs no

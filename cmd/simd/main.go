@@ -16,6 +16,8 @@
 //	                        ?wait=0 for async 202 + poll URL
 //	GET  /v1/result/{key}   fetch a result by content key
 //	GET  /v1/jobs           in-flight jobs
+//	POST /v1/generate       validate a scenario (incl. its generator
+//	                        spec) and preview its result key, no run
 //	GET  /healthz           liveness
 //	GET  /metrics           counters + latency histograms (JSON)
 //

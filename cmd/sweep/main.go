@@ -15,6 +15,11 @@
 //	sweep -param seed  -values 1,2,3,4,5 -protocols ecgrid
 //	sweep -param hosts -values 50,100,150,200 -out sweep.jsonl -parallel 8
 //	sweep -param hosts -values 50,100,150,200 -out sweep.jsonl -resume
+//	sweep -scenario dense-manhattan-10k -param seed -values 1 -store results/
+//
+// -scenario bases every run on a generated scenario from the
+// scenarios/ library (or any scenario JSON file); flags not explicitly
+// passed keep the file's values, and the swept parameter still applies.
 package main
 
 import (
@@ -45,8 +50,10 @@ func main() {
 		out       = flag.String("out", "", "append a JSONL manifest of completed runs to this file")
 		resume    = flag.Bool("resume", false, "skip runs already recorded in the -out manifest")
 		storeDir  = flag.String("store", "", "content-addressed result store directory shared with simd; cached runs are skipped")
-		retries   = flag.Int("retries", 0, "extra attempts for a failed run")
-		faultArg  = flag.String("faults", "",
+		scenRef   = flag.String("scenario", "",
+			"base every run on a generated scenario: a JSON file path or a scenarios/<name> library entry")
+		retries  = flag.Int("retries", 0, "extra attempts for a failed run")
+		faultArg = flag.String("faults", "",
 			"inject a fault plan into every run: a preset ("+strings.Join(faults.PresetNames(), ", ")+") or a plan JSON file")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -55,14 +62,35 @@ func main() {
 
 	// Validate the full request up front: an unknown protocol or value
 	// must exit(2) immediately, not panic halfway through a sweep.
-	var protos []scenario.ProtocolKind
-	for _, p := range strings.Split(*protocols, ",") {
-		proto, err := scenario.ParseProtocol(p)
+	//
+	// With -scenario the loaded config is the per-job base instead of
+	// scenario.Default, and flags the user did not explicitly pass keep
+	// the file's values (flag.Visit distinguishes "default" from "typed
+	// the default"). The swept parameter always applies.
+	var base *scenario.Config
+	if *scenRef != "" {
+		loaded, err := scenario.ResolveRef(*scenRef)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		protos = append(protos, proto)
+		base = &loaded
+	}
+	explicit := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	var protos []scenario.ProtocolKind
+	if base != nil && !explicit["protocols"] {
+		protos = []scenario.ProtocolKind{base.Protocol}
+	} else {
+		for _, p := range strings.Split(*protocols, ",") {
+			proto, err := scenario.ParseProtocol(p)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			protos = append(protos, proto)
+		}
 	}
 	var vals []float64
 	for _, v := range strings.Split(*values, ",") {
@@ -77,8 +105,16 @@ func main() {
 	for _, proto := range protos {
 		for _, v := range vals {
 			cfg := scenario.Default(proto)
-			cfg.Duration = *duration
-			cfg.Seed = *seed
+			if base != nil {
+				cfg = *base
+				cfg.Protocol = proto
+			}
+			if base == nil || explicit["duration"] {
+				cfg.Duration = *duration
+			}
+			if base == nil || explicit["seed"] {
+				cfg.Seed = *seed
+			}
 			switch *param {
 			case "hosts":
 				cfg.Hosts = int(v)

@@ -28,6 +28,7 @@ import (
 	"ecgrid/internal/batch"
 	"ecgrid/internal/runner"
 	"ecgrid/internal/scenario"
+	"ecgrid/internal/scengen"
 	"ecgrid/internal/stats"
 )
 
@@ -87,6 +88,12 @@ type Options struct {
 	Store batch.ResultStore
 	// Context, when non-nil, cancels in-flight sweeps.
 	Context context.Context
+	// Gen, when non-nil, overlays a scenario-generator spec onto every
+	// figure config: the paper's sweeps re-run under generated
+	// deployments, mobility, traffic shapes, or propagation maps
+	// (cmd/figures -scenario). Changing Gen changes every batch key, so
+	// stressed and plain figure runs never collide in a shared store.
+	Gen *scengen.Spec
 }
 
 // Point is one sample of a result series.
@@ -166,6 +173,16 @@ func Run(fig Figure, opt Options) (*Result, error) {
 // runJobs executes a job list under the options' batch settings and
 // returns the results in job order, or an error if any job failed.
 func runJobs(jobs []batch.Job, opt Options) ([]*runner.Results, error) {
+	if opt.Gen != nil {
+		for i := range jobs {
+			jobs[i].Cfg.Gen = opt.Gen
+			if opt.Gen.Mobility != nil {
+				// The generator's mobility axis replaces the base model;
+				// leaving both set would fail validation as ambiguous.
+				jobs[i].Cfg.Mobility = ""
+			}
+		}
+	}
 	bopt := batch.Options{
 		Workers:  opt.Workers,
 		Retries:  opt.Retries,

@@ -9,7 +9,8 @@ import (
 
 func TestGlobalRand(t *testing.T) {
 	analysistest.Run(t, "testdata", globalrand.Analyzer,
-		"ecgrid/internal/traffic/grfix", // banned everywhere; constructors legal
-		"ecgrid/internal/sim",           // rng.go exempt, sibling file not
+		"ecgrid/internal/traffic/grfix",     // banned everywhere; constructors legal
+		"ecgrid/internal/scengen/grscengen", // generator draws must come from streams
+		"ecgrid/internal/sim",               // rng.go exempt, sibling file not
 	)
 }

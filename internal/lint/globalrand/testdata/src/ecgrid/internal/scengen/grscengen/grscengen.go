@@ -1,0 +1,22 @@
+// Package grscengen exercises globalrand inside the scenario-generator
+// package path: every draw a placer or mobility factory makes must come
+// from a named sim.RNG stream, never the process-global source — one
+// stray global draw would shift every other consumer's sequence and
+// change the expanded scenario.
+package grscengen
+
+import "math/rand"
+
+func hits() (float64, float64) {
+	x := rand.Float64()     // want `global rand.Float64 draws from the process-wide source`
+	y := rand.NormFloat64() // want `global rand.NormFloat64`
+	rand.Shuffle(2, noop)   // want `global rand.Shuffle`
+	return x, y
+}
+
+func noop(i, j int) {}
+
+func clean(stream *rand.Rand) (float64, float64) {
+	// Drawing from an injected stream is the generator's contract.
+	return stream.Float64(), stream.NormFloat64()
+}

@@ -224,6 +224,7 @@ var SimPackages = []string{
 	"ecgrid/internal/protocols",
 	"ecgrid/internal/faults",
 	"ecgrid/internal/spatial",
+	"ecgrid/internal/scengen",
 }
 
 // FloatPackages lists the package trees where floating-point ==/!= is

@@ -12,6 +12,7 @@ func TestMapRange(t *testing.T) {
 		"ecgrid/internal/core/mrfix",        // in scope: hits and suppressions
 		"ecgrid/internal/faults/mrfaults",   // in scope: fault plans feed sim state
 		"ecgrid/internal/spatial/mrspatial", // in scope: index order must not leak
+		"ecgrid/internal/scengen/mrscengen", // in scope: generated placement order
 		"ecgrid/internal/batch/mrclean",     // out of scope: no diagnostics
 	)
 }

@@ -1,0 +1,38 @@
+// Package mrscengen exercises maprange inside the scenario-generator
+// package path: generated placements and group references are built from
+// maps keyed by cluster and group ids, and ranging over them would make
+// the expansion depend on map hash order — the exact nondeterminism the
+// generator's stream discipline exists to prevent.
+package mrscengen
+
+type expansion struct {
+	groups map[int]*struct{ size int }
+	order  []int
+}
+
+func hit(e *expansion) int {
+	n := 0
+	for range e.groups { // want `range over map e.groups`
+		n++
+	}
+	return n
+}
+
+func suppressed(e *expansion) int {
+	largest := 0
+	//simlint:ordered pure max over sizes; result is order-free
+	for _, g := range e.groups {
+		if g.size > largest {
+			largest = g.size
+		}
+	}
+	return largest
+}
+
+func clean(e *expansion) int {
+	n := 0
+	for _, id := range e.order {
+		n += e.groups[id].size
+	}
+	return n
+}

@@ -1,0 +1,19 @@
+// Package wtscengen exercises walltime inside the scenario-generator
+// package path: generated mobility and traffic run on simulated time,
+// so a wall-clock read during expansion would tie the scenario to the
+// host instead of the seed.
+package wtscengen
+
+import "time"
+
+func hit() time.Time {
+	return time.Now() // want `time.Now in a simulation package`
+}
+
+func suppressed() time.Time {
+	return time.Now() //simlint:walltime generation progress log, never enters the scenario
+}
+
+func clean(meanOnS float64) time.Duration {
+	return time.Duration(meanOnS * float64(time.Second))
+}

@@ -12,6 +12,7 @@ func TestWallTime(t *testing.T) {
 		"ecgrid/internal/sim/wtfix",         // in scope: hits and suppressions
 		"ecgrid/internal/faults/wtfaults",   // in scope: fault timing is sim time
 		"ecgrid/internal/spatial/wtspatial", // in scope: re-bucketing is sim time
+		"ecgrid/internal/scengen/wtscengen", // in scope: generation is sim-seeded
 		"ecgrid/internal/batch/wtclean",     // out of scope: no diagnostics
 	)
 }

@@ -1,0 +1,128 @@
+package mobility
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ecgrid/internal/geom"
+)
+
+func newGroup(seed int64) (*GroupReference, []*GroupMember) {
+	const radius = 80.0
+	rng := rand.New(rand.NewSource(seed))
+	ref := NewGroupReference(testArea(), geom.Point{X: 300, Y: 640}, radius, 10, 2, rng)
+	members := make([]*GroupMember, 4)
+	for i := range members {
+		members[i] = NewGroupMember(ref, radius, 2, 0.5, rand.New(rand.NewSource(seed+int64(i)+1)))
+	}
+	return ref, members
+}
+
+// TestGroupMemberStaysNearReference: every member stays within the
+// offset radius of the shared reference point, and therefore inside the
+// full area (the reference runs over the inset).
+func TestGroupMemberStaysNearReference(t *testing.T) {
+	ref, members := newGroup(9)
+	area := testArea()
+	for u := 0.0; u < 800; u += 0.53 {
+		rp := ref.rwp.Position(u)
+		for i, m := range members {
+			p := m.Position(u)
+			if d := p.Dist(rp); d > 80*math.Sqrt2+1e-6 {
+				t.Fatalf("t=%v: member %d strayed %v m from the reference", u, i, d)
+			}
+			if !area.Contains(p) {
+				t.Fatalf("t=%v: member %d outside the area at %v", u, i, p)
+			}
+		}
+	}
+}
+
+// TestGroupMembersCohere: distinct members of one group do not collapse
+// onto a single trajectory (each has private local motion), yet move
+// together: the spread between members is bounded by twice the radius
+// box diagonal.
+func TestGroupMembersCohere(t *testing.T) {
+	_, members := newGroup(31)
+	distinct := false
+	for u := 10.0; u < 400; u += 10 {
+		a := members[0].Position(u)
+		b := members[1].Position(u)
+		if a.Dist(b) > 1 {
+			distinct = true
+		}
+		if d := a.Dist(b); d > 2*80*math.Sqrt2+1e-6 {
+			t.Fatalf("t=%v: members %v apart, beyond the group diameter", u, d)
+		}
+	}
+	if !distinct {
+		t.Fatal("members never separated: local motion is not private")
+	}
+}
+
+// TestGroupMemberVelocityIsDerivative checks the Model consistency
+// contract numerically: the position moves by roughly velocity·dt over
+// a small dt away from knots.
+func TestGroupMemberVelocityIsDerivative(t *testing.T) {
+	_, members := newGroup(5)
+	m := members[2]
+	const dt = 1e-5
+	for u := 0.5; u < 200; u += 3.1 {
+		// Skip samples too close to a knot for a one-sided difference.
+		if m.NextTurn(u)-u < 2*dt {
+			continue
+		}
+		v := m.Velocity(u)
+		p0, p1 := m.Position(u), m.Position(u+dt)
+		gotDX := (p1.X - p0.X) / dt
+		gotDY := (p1.Y - p0.Y) / dt
+		if math.Abs(gotDX-v.DX) > 1e-3 || math.Abs(gotDY-v.DY) > 1e-3 {
+			t.Fatalf("t=%v: velocity %v but finite difference (%v, %v)", u, v, gotDX, gotDY)
+		}
+	}
+}
+
+// TestNextRectExitConservativeGenerated mirrors the waypoint/direction
+// conservativeness property test for the two generated-scenario models:
+// at every sampled instant strictly before the reported exit the host
+// must still be inside the rectangle. This is the contract that lets
+// the spatial index trust the models for event-driven re-bucketing.
+func TestNextRectExitConservativeGenerated(t *testing.T) {
+	_, members := newGroup(13)
+	models := map[string]Model{
+		"manhattan": newManhattan(41, 60, 14, 0.5),
+		"group":     members[0],
+	}
+	for name, m := range models {
+		t.Run(name, func(t *testing.T) {
+			const horizon = 600.0
+			u := 0.0
+			for u < horizon {
+				pos := m.Position(u)
+				rect := geom.NewRect(
+					geom.Point{X: pos.X - 35, Y: pos.Y - 35},
+					geom.Point{X: pos.X + 35, Y: pos.Y + 35},
+				)
+				exit := NextRectExit(m, u, rect, u+horizon)
+				if exit < u {
+					t.Fatalf("t=%v: exit %v in the past", u, exit)
+				}
+				for i := 0; i < 32; i++ {
+					s := u + (exit-u-2*eps)*float64(i)/32
+					if s < u {
+						break
+					}
+					if p := m.Position(s); !rect.Contains(p) {
+						t.Fatalf("t=%v: position %v outside rect %v at %v, before reported exit %v",
+							u, p, rect, s, exit)
+					}
+				}
+				if exit <= u {
+					exit = u + 0.5
+				}
+				u = exit + 1
+			}
+		})
+	}
+}

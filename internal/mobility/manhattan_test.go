@@ -1,0 +1,113 @@
+package mobility
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ecgrid/internal/geom"
+)
+
+func newManhattan(seed int64, block, maxSpeed, pause float64) *Manhattan {
+	return NewManhattan(testArea(), geom.Point{X: 437, Y: 291}, block, maxSpeed, pause,
+		rand.New(rand.NewSource(seed)))
+}
+
+// TestManhattanOnStreet is the model's defining invariant: at every
+// instant the host lies on a street line — at least one coordinate is a
+// multiple of the block size (within float slop) — and inside the
+// lattice.
+func TestManhattanOnStreet(t *testing.T) {
+	const block = 100.0
+	m := newManhattan(3, block, 12, 1.5)
+	onLattice := func(v float64) bool {
+		k := math.Round(v / block)
+		return math.Abs(v-k*block) < 1e-6
+	}
+	for u := 0.0; u < 2000; u += 0.37 {
+		p := m.Position(u)
+		if !onLattice(p.X) && !onLattice(p.Y) {
+			t.Fatalf("t=%v: position %v off the street lattice", u, p)
+		}
+		if p.X < -1e-6 || p.X > 1000+1e-6 || p.Y < -1e-6 || p.Y > 1000+1e-6 {
+			t.Fatalf("t=%v: position %v outside the area", u, p)
+		}
+	}
+}
+
+// TestManhattanDeterministic: two instances with the same seed agree at
+// every query, and the memo never diverges from a cold model.
+func TestManhattanDeterministic(t *testing.T) {
+	warm := newManhattan(11, 50, 8, 0.5)
+	times := make([]float64, 0, 1200)
+	r := rand.New(rand.NewSource(4))
+	base := 0.0
+	for i := 0; i < 300; i++ {
+		base += r.Float64() * 3
+		times = append(times, base, base+0.05, math.Max(0, base-40), base)
+	}
+	for _, u := range times {
+		cold := newManhattan(11, 50, 8, 0.5)
+		if got, want := warm.Position(u), cold.Position(u); got != want {
+			t.Fatalf("Position(%v): memoized %v != fresh %v", u, got, want)
+		}
+		if got, want := warm.Velocity(u), cold.Velocity(u); got != want {
+			t.Fatalf("Velocity(%v): memoized %v != fresh %v", u, got, want)
+		}
+	}
+}
+
+// TestManhattanVelocityAxisAligned: street motion is axis-parallel, at
+// a speed in (0, max], and zero during intersection pauses.
+func TestManhattanVelocityAxisAligned(t *testing.T) {
+	const max = 9.0
+	m := newManhattan(17, 125, max, 1)
+	for u := 0.0; u < 600; u += 0.19 {
+		v := m.Velocity(u)
+		if v.DX != 0 && v.DY != 0 {
+			t.Fatalf("t=%v: diagonal street velocity %v", u, v)
+		}
+		if s := v.Len(); s > max+1e-9 {
+			t.Fatalf("t=%v: speed %v above the %v cap", u, s, max)
+		}
+	}
+}
+
+// TestManhattanNextTurnMonotone: NextTurn is strictly ahead of the
+// query time and the heading really is constant until it.
+func TestManhattanNextTurnMonotone(t *testing.T) {
+	m := newManhattan(23, 80, 6, 0)
+	u := 0.0
+	for u < 500 {
+		turn := m.NextTurn(u)
+		if turn <= u {
+			t.Fatalf("t=%v: NextTurn %v not in the future", u, turn)
+		}
+		v0 := m.Velocity(u)
+		mid := u + (turn-u)/2
+		if v := m.Velocity(mid); v != v0 {
+			t.Fatalf("t=%v: velocity changed from %v to %v before NextTurn %v", u, v0, v, turn)
+		}
+		u = turn + 1e-9
+	}
+}
+
+// TestManhattanDegenerateLattice: a block larger than one dimension
+// collapses the lattice to a single line (or point) without hanging.
+func TestManhattanDegenerateLattice(t *testing.T) {
+	narrow := geom.NewRect(geom.Point{}, geom.Point{X: 40, Y: 1000})
+	m := NewManhattan(narrow, geom.Point{X: 20, Y: 500}, 100, 5, 0, rand.New(rand.NewSource(2)))
+	for u := 0.0; u < 300; u += 1 {
+		p := m.Position(u)
+		if math.Abs(p.X) > 1e-6 {
+			t.Fatalf("t=%v: host left the single vertical street: %v", u, p)
+		}
+	}
+	point := geom.NewRect(geom.Point{}, geom.Point{X: 40, Y: 40})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("block larger than both dimensions should panic")
+		}
+	}()
+	NewManhattan(point, geom.Point{X: 20, Y: 20}, 100, 5, 0, rand.New(rand.NewSource(2)))
+}

@@ -9,6 +9,7 @@ import (
 
 	"ecgrid/internal/faults"
 	"ecgrid/internal/scenario"
+	"ecgrid/internal/scengen"
 	"ecgrid/internal/trace"
 )
 
@@ -128,6 +129,38 @@ func TestRunTwiceDeterminism(t *testing.T) {
 			cfg.Duration = 80
 			cfg.Seed = 5
 			cfg.Faults = mustPreset("churn", cfg.Hosts, cfg.AreaSize, cfg.Duration)
+			return cfg
+		}()},
+		// Generated scenarios cover every scengen axis: clustered
+		// deployment + street mobility + bursty traffic, then group
+		// mobility + request/response + an obstacle map. Byte-identical
+		// twice is the acceptance bar for the whole generator.
+		{"gen-manhattan-burst", func() scenario.Config {
+			cfg := scenario.Default(scenario.ECGRID)
+			cfg.Hosts = 40
+			cfg.Duration = 120
+			cfg.Seed = 17
+			cfg.Gen = &scengen.Spec{
+				Deployment: &scengen.Deployment{Kind: scengen.DeployClustered, Clusters: 4, StdDevM: 120},
+				Mobility:   &scengen.Mobility{Kind: scengen.MobilityManhattan, BlockM: 200},
+				Traffic:    &scengen.Traffic{Kind: scengen.TrafficOnOff, MeanOnS: 10, MeanOffS: 15},
+			}
+			return cfg
+		}()},
+		{"gen-group-reqresp-obstacles", func() scenario.Config {
+			cfg := scenario.Default(scenario.ECGRID)
+			cfg.Hosts = 40
+			cfg.Duration = 120
+			cfg.Seed = 19
+			cfg.Gen = &scengen.Spec{
+				Deployment: &scengen.Deployment{Kind: scengen.DeployGrid, JitterM: 30},
+				Mobility:   &scengen.Mobility{Kind: scengen.MobilityGroup, GroupSize: 5, RadiusM: 100},
+				Traffic:    &scengen.Traffic{Kind: scengen.TrafficReqResp, RespBytes: 256, RespDelayS: 0.05},
+				Propagation: &scengen.Propagation{Obstacles: []scengen.Obstacle{
+					{MinX: 450, MinY: 0, MaxX: 480, MaxY: 700, Atten: 0.6},
+					{MinX: 100, MinY: 850, MaxX: 900, MaxY: 880, Atten: 1},
+				}},
+			}
 			return cfg
 		}()},
 	}

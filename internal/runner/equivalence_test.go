@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"ecgrid/internal/scenario"
+	"ecgrid/internal/scengen"
 )
 
 // TestSpatialIndexEquivalence proves the radio channel's spatial
@@ -54,6 +55,34 @@ func TestSpatialIndexEquivalence(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestSpatialIndexEquivalenceGenerated repeats the brute-force check on
+// a generated (non-figure) scenario: clustered placement concentrates
+// hosts per bucket, street mobility re-buckets on every intersection
+// turn, and the obstacle interceptor forces the no-shortcut reception
+// path — the combination most likely to expose an index divergence.
+func TestSpatialIndexEquivalenceGenerated(t *testing.T) {
+	cfg := scenario.Default(scenario.ECGRID)
+	cfg.Hosts = 60
+	cfg.Duration = 60
+	cfg.Seed = 23
+	cfg.Gen = &scengen.Spec{
+		Deployment: &scengen.Deployment{Kind: scengen.DeployClustered, Clusters: 3, StdDevM: 100},
+		Mobility:   &scengen.Mobility{Kind: scengen.MobilityManhattan, BlockM: 125},
+		Traffic:    &scengen.Traffic{Kind: scengen.TrafficOnOff, MeanOnS: 8, MeanOffS: 6},
+		Propagation: &scengen.Propagation{Obstacles: []scengen.Obstacle{
+			{MinX: 300, MinY: 200, MaxX: 340, MaxY: 800, Atten: 0.7},
+		}},
+	}
+	ref := cfg
+	ref.Radio.BruteForce = true
+	indexed := fingerprint(cfg)
+	brute := fingerprint(ref)
+	if indexed != brute {
+		t.Fatalf("spatial index diverged on a generated scenario — first divergence:\n%s",
+			firstDiff(indexed, brute))
 	}
 }
 

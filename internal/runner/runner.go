@@ -24,6 +24,7 @@ import (
 	"ecgrid/internal/ras"
 	"ecgrid/internal/routing"
 	"ecgrid/internal/scenario"
+	"ecgrid/internal/scengen"
 	"ecgrid/internal/sim"
 	"ecgrid/internal/traffic"
 )
@@ -114,6 +115,10 @@ func Run(cfg scenario.Config) *Results {
 	}
 	engine := sim.NewEngineWith(sched)
 	rng := sim.NewRNG(cfg.Seed)
+	gen := cfg.Gen
+	if gen.Empty() {
+		gen = nil
+	}
 	area := geom.NewRect(geom.Point{}, geom.Point{X: cfg.AreaSize, Y: cfg.AreaSize})
 	part := grid.NewPartition(area, cfg.GridSize)
 	channel := radio.NewChannel(engine, rng, cfg.Radio)
@@ -142,6 +147,17 @@ func Run(cfg scenario.Config) *Results {
 	}
 	recs := make([]hostRec, 0, total)
 
+	// deliver is every protocol's OnDeliver target: metrics first, then
+	// the request/response dispatch (bound later, once traffic exists —
+	// nil when the scenario has no reqresp flows).
+	var rrDispatch func(*routing.DataPacket)
+	deliver := func(pkt *routing.DataPacket) {
+		col.PacketDelivered(pkt, engine.Now())
+		if rrDispatch != nil {
+			rrDispatch(pkt)
+		}
+	}
+
 	// buildProtocol installs a fresh protocol instance on rec's host —
 	// at construction, and again on recovery from an injected crash
 	// (volatile protocol state does not survive a power cycle). Counters
@@ -167,7 +183,7 @@ func Run(cfg scenario.Config) *Results {
 				opt = *cfg.ECGRIDOptions
 			}
 			p := core.New(h, opt)
-			p.OnDeliver = func(pkt *routing.DataPacket) { col.PacketDelivered(pkt, engine.Now()) }
+			p.OnDeliver = deliver
 			p.OnGateway = col.GatewayDeclared
 			h.SetProtocol(p)
 			rec.snd.cur = p
@@ -175,7 +191,7 @@ func Run(cfg scenario.Config) *Results {
 			rec.statsFn = func() map[string]uint64 { return coreStats(&p.Stats) }
 		case scenario.SPAN:
 			p := span.New(h, span.DefaultOptions())
-			p.OnDeliver = func(pkt *routing.DataPacket) { col.PacketDelivered(pkt, engine.Now()) }
+			p.OnDeliver = deliver
 			h.SetProtocol(p)
 			rec.snd.cur = p
 			rec.statsFn = func() map[string]uint64 { return spanStats(&p.Stats) }
@@ -190,7 +206,7 @@ func Run(cfg scenario.Config) *Results {
 			} else {
 				p = gaf.New(h, opt, rec.endpoint)
 			}
-			p.OnDeliver = func(pkt *routing.DataPacket) { col.PacketDelivered(pkt, engine.Now()) }
+			p.OnDeliver = deliver
 			h.SetProtocol(p)
 			rec.snd.cur = p
 			rec.statsFn = func() map[string]uint64 { return gafStats(&p.Stats) }
@@ -203,21 +219,32 @@ func Run(cfg scenario.Config) *Results {
 			Y: rng.Uniform(sim.StreamPlacement, 0, cfg.AreaSize),
 		}
 	}
+	if gen != nil && gen.Deployment != nil {
+		place = scengen.NewPlacer(gen.Deployment, area, total, rng)
+	}
+	var mobFactory *scengen.MobilityFactory
+	if gen != nil && gen.Mobility != nil {
+		mobFactory = scengen.NewMobilityFactory(gen.Mobility, area, cfg.MaxSpeedMS, cfg.PauseTime, rng)
+	}
 
 	for i := 0; i < total; i++ {
 		endpoint := cfg.Protocol == scenario.GAF && i >= cfg.Hosts
 		start := place(i)
 		var mob mobility.Model
-		switch cfg.Mobility {
-		case "direction":
-			// Epoch sized so direction changes come at waypoint-like
-			// intervals for the area.
-			epoch := cfg.AreaSize / (2 * cfg.MaxSpeedMS)
-			mob = mobility.NewRandomDirection(area, start, cfg.MaxSpeedMS, epoch,
-				cfg.PauseTime, rng.Stream(fmt.Sprintf(sim.StreamMobility, i)))
-		default:
-			mob = mobility.NewRandomWaypoint(area, start, cfg.MaxSpeedMS, cfg.PauseTime,
-				rng.Stream(fmt.Sprintf(sim.StreamMobility, i)))
+		if mobFactory != nil {
+			mob = mobFactory.Model(i, start)
+		} else {
+			switch cfg.Mobility {
+			case "direction":
+				// Epoch sized so direction changes come at waypoint-like
+				// intervals for the area.
+				epoch := cfg.AreaSize / (2 * cfg.MaxSpeedMS)
+				mob = mobility.NewRandomDirection(area, start, cfg.MaxSpeedMS, epoch,
+					cfg.PauseTime, rng.Stream(fmt.Sprintf(sim.StreamMobility, i)))
+			default:
+				mob = mobility.NewRandomWaypoint(area, start, cfg.MaxSpeedMS, cfg.PauseTime,
+					rng.Stream(fmt.Sprintf(sim.StreamMobility, i)))
+			}
 		}
 		var bat *energy.Battery
 		if endpoint {
@@ -238,6 +265,18 @@ func Run(cfg scenario.Config) *Results {
 	}
 	for i := range recs {
 		recs[i].host.Start()
+	}
+
+	// Propagation map: obstacles shrink the effective radio range of
+	// any transmission whose sight line crosses them. Pure geometry —
+	// no RNG draw — so runs with and without a map consume identical
+	// randomness from every stream.
+	if gen != nil && gen.Propagation != nil {
+		obstacles := scengen.NewObstacleMap(gen.Propagation)
+		baseRange := cfg.Radio.Range
+		channel.Interceptor = func(f *radio.Frame, from, to geom.Point) bool {
+			return obstacles.Deliverable(baseRange, from, to)
+		}
 	}
 
 	// Fault injection: translate the plan into per-host targets and
@@ -289,7 +328,14 @@ func Run(cfg scenario.Config) *Results {
 				col.FaultInjected(at)
 			}
 		}
+		// Compose with an obstacle map already installed above: the
+		// geometric veto runs first, then the jamming draw (in that
+		// order, so a shadowed reception never consumes jam randomness).
+		prev := channel.Interceptor
 		channel.Interceptor = func(f *radio.Frame, from, to geom.Point) bool {
+			if prev != nil && !prev(f, from, to) {
+				return false
+			}
 			return !inj.FrameJammed(from, to)
 		}
 		bus.DropHook = func(hostid.ID) bool { return inj.PageDropped() }
@@ -298,8 +344,13 @@ func Run(cfg scenario.Config) *Results {
 
 	// Traffic: flow endpoints. Under GAF Model 1 the flows run between
 	// the infinite-energy endpoint hosts; under Model 2 (ECGRID/GRID)
-	// sources and destinations are random energy-limited hosts.
-	flows := make([]*traffic.CBR, 0, cfg.Flows)
+	// sources and destinations are random energy-limited hosts. A
+	// generator traffic axis reshapes each flow (bursty on/off or
+	// request/response) but keeps the endpoint draws and phases on the
+	// same streams, so only the emission pattern changes.
+	type stopper interface{ Stop() }
+	flows := make([]stopper, 0, cfg.Flows)
+	var rrs []*traffic.ReqResp
 	for f := 0; f < cfg.Flows; f++ {
 		var srcIdx, dstIdx int
 		if cfg.Protocol == scenario.GAF {
@@ -315,18 +366,63 @@ func Run(cfg scenario.Config) *Results {
 				dstIdx = rng.Intn(sim.StreamFlows, total)
 			}
 		}
-		src := recs[srcIdx]
-		flow := &traffic.CBR{
-			Flow: f, Src: src.host.ID(), Dst: recs[dstIdx].host.ID(),
-			Rate: cfg.RatePerFlow, Bytes: cfg.PacketBytes,
-		}
-		flow.OnSend = func(pkt *routing.DataPacket) { col.PacketSent(pkt) }
-		srcHost := src.host
-		flow.Gate = func() bool { return !srcHost.Dead() && !srcHost.Crashed() }
-		snd := src.snd
+		src, dst := recs[srcIdx], recs[dstIdx]
+		onSend := func(pkt *routing.DataPacket) { col.PacketSent(pkt) }
+		srcHost, dstHost := src.host, dst.host
+		srcAlive := func() bool { return !srcHost.Dead() && !srcHost.Crashed() }
 		phase := cfg.TrafficStart + rng.Uniform(sim.StreamFlowPhase, 0, 1/cfg.RatePerFlow)
-		flow.Start(engine, snd, phase)
-		flows = append(flows, flow)
+
+		var shape *scengen.Traffic
+		if gen != nil {
+			shape = gen.Traffic
+		}
+		switch {
+		case shape != nil && shape.Kind == scengen.TrafficOnOff:
+			flow := &traffic.OnOff{
+				Flow: f, Src: srcHost.ID(), Dst: dstHost.ID(),
+				Rate: cfg.RatePerFlow, Bytes: cfg.PacketBytes,
+				MeanOnS: shape.MeanOnS, MeanOffS: shape.MeanOffS,
+			}
+			flow.OnSend = onSend
+			flow.Gate = srcAlive
+			flow.Start(engine, src.snd, rng, phase)
+			flows = append(flows, flow)
+		case shape != nil && shape.Kind == scengen.TrafficReqResp:
+			respBytes := shape.RespBytes
+			if respBytes == 0 {
+				respBytes = cfg.PacketBytes
+			}
+			// Response flows occupy ids Flows..2*Flows-1 so the metrics
+			// keep the two directions of a pair distinct.
+			rr := &traffic.ReqResp{
+				Flow: f, RespFlow: cfg.Flows + f,
+				A: srcHost.ID(), B: dstHost.ID(),
+				Interval: 1 / cfg.RatePerFlow, Bytes: cfg.PacketBytes,
+				RespBytes: respBytes, RespDelayS: shape.RespDelayS,
+			}
+			rr.OnSend = onSend
+			rr.GateA = srcAlive
+			rr.GateB = func() bool { return !dstHost.Dead() && !dstHost.Crashed() }
+			rr.Start(engine, src.snd, dst.snd, phase)
+			rrs = append(rrs, rr)
+			flows = append(flows, rr)
+		default:
+			flow := &traffic.CBR{
+				Flow: f, Src: srcHost.ID(), Dst: dstHost.ID(),
+				Rate: cfg.RatePerFlow, Bytes: cfg.PacketBytes,
+			}
+			flow.OnSend = onSend
+			flow.Gate = srcAlive
+			flow.Start(engine, src.snd, phase)
+			flows = append(flows, flow)
+		}
+	}
+	if len(rrs) > 0 {
+		rrDispatch = func(pkt *routing.DataPacket) {
+			for _, rr := range rrs {
+				rr.Delivered(pkt)
+			}
+		}
 	}
 
 	// Metrics sampling.

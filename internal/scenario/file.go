@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 )
 
 // Scenario files: a Config serializes to JSON so experiment setups can be
@@ -21,6 +22,22 @@ func (c Config) Save(path string) error {
 		return fmt.Errorf("scenario: %w", err)
 	}
 	return nil
+}
+
+// ResolveRef loads a scenario by reference: a path to a scenario JSON
+// file, or the bare name of a committed library entry, resolved as
+// scenarios/<name>.json relative to the working directory (the repo
+// keeps its generated-scenario library there). A path wins when both
+// exist.
+func ResolveRef(ref string) (Config, error) {
+	if _, err := os.Stat(ref); err == nil {
+		return Load(ref)
+	}
+	lib := filepath.Join("scenarios", ref+".json")
+	if _, err := os.Stat(lib); err == nil {
+		return Load(lib)
+	}
+	return Config{}, fmt.Errorf("scenario: %q is neither a scenario file nor a scenarios/ library name", ref)
 }
 
 // Load reads a configuration from path. Fields absent from the file keep

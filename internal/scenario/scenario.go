@@ -7,12 +7,14 @@ package scenario
 import (
 	"errors"
 	"fmt"
+	"math"
 	"strings"
 
 	"ecgrid/internal/core"
 	"ecgrid/internal/faults"
 	"ecgrid/internal/protocols/gaf"
 	"ecgrid/internal/radio"
+	"ecgrid/internal/scengen"
 	"ecgrid/internal/trace"
 )
 
@@ -114,6 +116,13 @@ type Config struct {
 	// omitempty keeps the JSON encoding — and with it batch manifest
 	// keys — identical to fault-free configs when no plan is set.
 	Faults *faults.Plan `json:",omitempty"`
+	// Gen, if non-nil, expands a declarative scenario-generator spec
+	// (internal/scengen) over this config: deployment replaces the
+	// uniform placement, mobility overrides the Mobility field, traffic
+	// reshapes the flows, and propagation adds obstacles to the
+	// channel. omitempty keeps batch keys of plain configs unchanged,
+	// exactly as with Faults.
+	Gen *scengen.Spec `json:",omitempty"`
 	// Trace, if non-nil, records every transmission (and deliveries)
 	// into the given recorder. Runtime-only: not serialized.
 	Trace *trace.Recorder `json:"-"`
@@ -155,13 +164,13 @@ func (c Config) Validate() error {
 	if c.Protocol == GAF && c.EndpointHosts < 2 && c.Flows > 0 {
 		return errors.New("scenario: GAF Model 1 needs at least two endpoint hosts")
 	}
-	if c.AreaSize <= 0 || c.GridSize <= 0 {
-		return errors.New("scenario: non-positive area or grid size")
+	if c.AreaSize <= 0 || c.GridSize <= 0 || !finite(c.AreaSize) || !finite(c.GridSize) {
+		return errors.New("scenario: non-positive or degenerate area or grid size")
 	}
 	if c.GridSize > c.AreaSize {
 		return errors.New("scenario: grid cell larger than the area")
 	}
-	if c.MaxSpeedMS <= 0 {
+	if c.MaxSpeedMS <= 0 || !finite(c.MaxSpeedMS) {
 		return errors.New("scenario: non-positive speed")
 	}
 	switch c.Mobility {
@@ -169,19 +178,28 @@ func (c Config) Validate() error {
 	default:
 		return fmt.Errorf("scenario: unknown mobility model %q", c.Mobility)
 	}
-	if c.PauseTime < 0 {
+	if c.PauseTime < 0 || !finite(c.PauseTime) {
 		return errors.New("scenario: negative pause time")
 	}
-	if c.Flows < 0 || (c.Flows > 0 && (c.RatePerFlow <= 0 || c.PacketBytes <= 0)) {
+	// Traffic parameters must be sane even with zero flows: a negative
+	// rate or packet size in a flow-less config is a sweep-construction
+	// bug that would otherwise hide until Flows goes positive.
+	if c.Flows < 0 || c.RatePerFlow < 0 || c.PacketBytes < 0 || !finite(c.RatePerFlow) {
 		return errors.New("scenario: invalid traffic parameters")
+	}
+	if c.Flows > 0 && (c.RatePerFlow <= 0 || c.PacketBytes <= 0) {
+		return errors.New("scenario: invalid traffic parameters")
+	}
+	if c.TrafficStart < 0 || !finite(c.TrafficStart) {
+		return errors.New("scenario: negative traffic start")
 	}
 	if c.Flows > 0 && c.Hosts < 2 && c.Protocol != GAF {
 		return errors.New("scenario: traffic needs at least two hosts")
 	}
-	if c.InitialEnergyJ <= 0 {
+	if c.InitialEnergyJ <= 0 || !finite(c.InitialEnergyJ) {
 		return errors.New("scenario: non-positive initial energy")
 	}
-	if c.Duration <= 0 || c.SampleEvery <= 0 {
+	if c.Duration <= 0 || c.SampleEvery <= 0 || !finite(c.Duration) || !finite(c.SampleEvery) {
 		return errors.New("scenario: non-positive duration or sample period")
 	}
 	if c.Faults != nil {
@@ -193,8 +211,22 @@ func (c Config) Validate() error {
 			return err
 		}
 	}
+	if c.Gen != nil {
+		if c.Gen.Mobility != nil && c.Mobility != "" {
+			return fmt.Errorf("scenario: both Mobility %q and a generator mobility spec set", c.Mobility)
+		}
+		total := c.Hosts
+		if c.Protocol == GAF {
+			total += c.EndpointHosts
+		}
+		if err := c.Gen.Validate(total, c.AreaSize); err != nil {
+			return err
+		}
+	}
 	return nil
 }
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // NetworkLoadPktsPerSec returns the aggregate offered load.
 func (c Config) NetworkLoadPktsPerSec() float64 {

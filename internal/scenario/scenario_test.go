@@ -1,9 +1,13 @@
 package scenario
 
 import (
+	"encoding/json"
+	"math"
 	"os"
 	"strings"
 	"testing"
+
+	"ecgrid/internal/scengen"
 )
 
 func TestDefaultIsValid(t *testing.T) {
@@ -49,6 +53,24 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		"zero duration":     func(c *Config) { c.Duration = 0 },
 		"zero sampling":     func(c *Config) { c.SampleEvery = 0 },
 		"one host traffic":  func(c *Config) { c.Hosts = 1 },
+		// Degenerate values that used to slip through: traffic knobs
+		// must be sane even with no flows, and non-finite floats are
+		// never valid anywhere.
+		"negative rate, no flows":  func(c *Config) { c.Flows = 0; c.RatePerFlow = -1 },
+		"negative bytes, no flows": func(c *Config) { c.Flows = 0; c.PacketBytes = -64 },
+		"negative traffic start":   func(c *Config) { c.TrafficStart = -5 },
+		"NaN area":                 func(c *Config) { c.AreaSize = math.NaN() },
+		"Inf area":                 func(c *Config) { c.AreaSize = math.Inf(1) },
+		"NaN grid":                 func(c *Config) { c.GridSize = math.NaN() },
+		"NaN speed":                func(c *Config) { c.MaxSpeedMS = math.NaN() },
+		"Inf speed":                func(c *Config) { c.MaxSpeedMS = math.Inf(1) },
+		"NaN pause":                func(c *Config) { c.PauseTime = math.NaN() },
+		"NaN rate":                 func(c *Config) { c.RatePerFlow = math.NaN() },
+		"NaN traffic start":        func(c *Config) { c.TrafficStart = math.NaN() },
+		"NaN energy":               func(c *Config) { c.InitialEnergyJ = math.NaN() },
+		"NaN duration":             func(c *Config) { c.Duration = math.NaN() },
+		"Inf duration":             func(c *Config) { c.Duration = math.Inf(1) },
+		"NaN sampling":             func(c *Config) { c.SampleEvery = math.NaN() },
 	}
 	for name, mutate := range mutations {
 		cfg := Default(ECGRID)
@@ -92,6 +114,43 @@ func TestValidateMobilityModel(t *testing.T) {
 	cfg.Mobility = "teleport"
 	if err := cfg.Validate(); err == nil {
 		t.Error("unknown mobility model accepted")
+	}
+}
+
+func TestValidateGenSpec(t *testing.T) {
+	cfg := Default(ECGRID)
+	cfg.Gen = &scengen.Spec{Mobility: &scengen.Mobility{Kind: scengen.MobilityManhattan, BlockM: 100}}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("valid generator spec rejected: %v", err)
+	}
+	// A generator mobility axis and the plain Mobility field are two
+	// answers to one question; setting both is ambiguous.
+	cfg.Mobility = "waypoint"
+	if err := cfg.Validate(); err == nil {
+		t.Error("conflicting Mobility + generator mobility accepted")
+	}
+	cfg.Mobility = ""
+	cfg.Gen.Mobility.BlockM = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("invalid generator spec accepted")
+	}
+	// An all-nil spec is inert and valid.
+	cfg.Gen = &scengen.Spec{}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("empty generator spec rejected: %v", err)
+	}
+}
+
+// TestGenOmitemptyKeepsEncoding: configs without a generator spec must
+// encode exactly as before the field existed — that invariance is what
+// keeps batch manifest keys of the whole existing corpus stable.
+func TestGenOmitemptyKeepsEncoding(t *testing.T) {
+	b, err := json.Marshal(Default(ECGRID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "Gen") {
+		t.Fatalf("nil Gen leaked into the encoding: %s", b)
 	}
 }
 

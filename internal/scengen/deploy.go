@@ -1,0 +1,62 @@
+package scengen
+
+import (
+	"math"
+
+	"ecgrid/internal/geom"
+	"ecgrid/internal/sim"
+)
+
+// NewPlacer expands a deployment into a placement function: Placer(i)
+// is host i's starting position. Every random draw comes from the
+// dedicated "scengen.deploy" stream, so switching deployments cannot
+// shift mobility, flow, or channel randomness, and the default
+// placement stream stays untouched for configs without a spec.
+//
+// Cluster centers (and the host→cluster assignment) are drawn eagerly
+// at construction; per-host draws then happen in call order. Callers
+// must therefore invoke the placer for i = 0, 1, 2, … exactly once
+// each, which is how the runner constructs hosts.
+func NewPlacer(d *Deployment, area geom.Rect, hosts int, rng *sim.RNG) func(i int) geom.Point {
+	src := rng.Stream(sim.StreamScengenDeploy)
+	uniform := func(int) geom.Point {
+		return geom.Point{
+			X: area.Min.X + src.Float64()*area.Width(),
+			Y: area.Min.Y + src.Float64()*area.Height(),
+		}
+	}
+	switch d.Kind {
+	case DeployClustered:
+		centers := make([]geom.Point, d.Clusters)
+		for i := range centers {
+			centers[i] = uniform(0)
+		}
+		// Spread hosts round-robin over the hotspots: cluster sizes
+		// differ by at most one, so density scales with Clusters alone.
+		return func(i int) geom.Point {
+			c := centers[i%len(centers)]
+			return area.Clamp(geom.Point{
+				X: c.X + src.NormFloat64()*d.StdDevM,
+				Y: c.Y + src.NormFloat64()*d.StdDevM,
+			})
+		}
+	case DeployGrid:
+		cols := int(math.Ceil(math.Sqrt(float64(hosts))))
+		rows := (hosts + cols - 1) / cols
+		dx := area.Width() / float64(cols)
+		dy := area.Height() / float64(rows)
+		return func(i int) geom.Point {
+			p := geom.Point{
+				X: area.Min.X + (float64(i%cols)+0.5)*dx,
+				Y: area.Min.Y + (float64(i/cols)+0.5)*dy,
+			}
+			if d.JitterM > 0 {
+				p.X += (2*src.Float64() - 1) * d.JitterM
+				p.Y += (2*src.Float64() - 1) * d.JitterM
+			}
+			return area.Clamp(p)
+		}
+	default: // DeployUniform (Validate rejects anything else)
+		return uniform
+	}
+}

@@ -1,0 +1,106 @@
+package scengen
+
+import (
+	"math"
+	"testing"
+
+	"ecgrid/internal/geom"
+	"ecgrid/internal/sim"
+)
+
+func area1000() geom.Rect {
+	return geom.NewRect(geom.Point{}, geom.Point{X: 1000, Y: 1000})
+}
+
+func expand(d *Deployment, hosts int, seed int64) []geom.Point {
+	place := NewPlacer(d, area1000(), hosts, sim.NewRNG(seed))
+	pts := make([]geom.Point, hosts)
+	for i := range pts {
+		pts[i] = place(i)
+	}
+	return pts
+}
+
+// TestPlacerDeterministic: same spec + same seed → same placements,
+// for every kind.
+func TestPlacerDeterministic(t *testing.T) {
+	for _, d := range []*Deployment{
+		{Kind: DeployUniform},
+		{Kind: DeployClustered, Clusters: 5, StdDevM: 50},
+		{Kind: DeployGrid, JitterM: 15},
+	} {
+		a, b := expand(d, 200, 42), expand(d, 200, 42)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: host %d placed at %v then %v", d.Kind, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestPlacerInsideArea: every kind clamps into the region.
+func TestPlacerInsideArea(t *testing.T) {
+	area := area1000()
+	for _, d := range []*Deployment{
+		{Kind: DeployUniform},
+		{Kind: DeployClustered, Clusters: 3, StdDevM: 400}, // wide scatter: clamping must engage
+		{Kind: DeployGrid, JitterM: 80},
+	} {
+		for i, p := range expand(d, 300, 7) {
+			if !area.Contains(p) {
+				t.Fatalf("%s: host %d placed outside the area at %v", d.Kind, i, p)
+			}
+		}
+	}
+}
+
+// TestClusteredIsClustered: with tight scatter, hosts concentrate —
+// the mean distance to the nearest cluster center is on the order of
+// the scatter, far below the ~hundreds of meters a uniform draw gives.
+func TestClusteredIsClustered(t *testing.T) {
+	const stddev = 30.0
+	d := &Deployment{Kind: DeployClustered, Clusters: 4, StdDevM: stddev}
+	pts := expand(d, 400, 3)
+	// Recover the centers from the same stream: first draws are the
+	// centers themselves.
+	centers := expand(&Deployment{Kind: DeployUniform}, 4, 3)
+	sum := 0.0
+	for _, p := range pts {
+		best := math.Inf(1)
+		for _, c := range centers {
+			if dd := p.Dist(c); dd < best {
+				best = dd
+			}
+		}
+		sum += best
+	}
+	if mean := sum / float64(len(pts)); mean > 4*stddev {
+		t.Fatalf("mean distance to nearest hotspot %v m: not clustered", mean)
+	}
+}
+
+// TestGridCoversCells: jitter-free grid placement puts one host in
+// each √N×√N lattice cell — the dense best case for grid routing.
+func TestGridCoversCells(t *testing.T) {
+	const hosts = 100 // 10×10 lattice over 1000 m → 100 m cells
+	pts := expand(&Deployment{Kind: DeployGrid}, hosts, 1)
+	seen := make(map[[2]int]bool)
+	for _, p := range pts {
+		seen[[2]int{int(p.X / 100), int(p.Y / 100)}] = true
+	}
+	if len(seen) != hosts {
+		t.Fatalf("%d hosts occupy only %d distinct 100 m cells", hosts, len(seen))
+	}
+}
+
+// TestUniformSpreads: a sanity bound that the uniform kind is not
+// degenerate — all four quadrants receive hosts.
+func TestUniformSpreads(t *testing.T) {
+	quad := make(map[[2]bool]int)
+	for _, p := range expand(&Deployment{Kind: DeployUniform}, 200, 9) {
+		quad[[2]bool{p.X > 500, p.Y > 500}]++
+	}
+	if len(quad) != 4 {
+		t.Fatalf("uniform placement missed quadrants: %v", quad)
+	}
+}

@@ -1,0 +1,64 @@
+package scengen
+
+import (
+	"fmt"
+
+	"ecgrid/internal/geom"
+	"ecgrid/internal/mobility"
+	"ecgrid/internal/sim"
+)
+
+// MobilityFactory expands a mobility axis into per-host models. It
+// exists (rather than a pure function) because group mobility has
+// shared state: members of one group must attach to the same reference
+// trajectory, which the factory creates on first touch and caches.
+//
+// Stream discipline: host i's street motion draws from
+// "scengen.manhattan.<i>"; group g's reference from
+// "scengen.group.ref.<g>" and member i's local motion from
+// "scengen.group.m.<i>". Per-entity streams keep the expansion
+// insensitive to construction order beyond the factory's own caching.
+type MobilityFactory struct {
+	spec     *Mobility
+	area     geom.Rect
+	maxSpeed float64
+	pause    float64
+	rng      *sim.RNG
+	refs     map[int]*mobility.GroupReference
+}
+
+// NewMobilityFactory prepares expansion of a validated mobility spec.
+func NewMobilityFactory(spec *Mobility, area geom.Rect, maxSpeed, pause float64, rng *sim.RNG) *MobilityFactory {
+	return &MobilityFactory{
+		spec: spec, area: area, maxSpeed: maxSpeed, pause: pause, rng: rng,
+		refs: make(map[int]*mobility.GroupReference),
+	}
+}
+
+// Model builds host i's movement model starting at start.
+func (f *MobilityFactory) Model(i int, start geom.Point) mobility.Model {
+	switch f.spec.Kind {
+	case MobilityManhattan:
+		return mobility.NewManhattan(f.area, start, f.spec.BlockM, f.maxSpeed, f.pause,
+			f.rng.Stream(fmt.Sprintf(sim.StreamScengenManhattan, i)))
+	case MobilityGroup:
+		g := i / f.spec.GroupSize
+		ref, ok := f.refs[g]
+		if !ok {
+			// The group's reference starts at its first member's
+			// placement (clamped into the inset by the constructor) and
+			// moves at the configured top speed.
+			ref = mobility.NewGroupReference(f.area, start, f.spec.RadiusM, f.maxSpeed, f.pause,
+				f.rng.Stream(fmt.Sprintf(sim.StreamScengenGroup, fmt.Sprintf("ref.%d", g))))
+			f.refs[g] = ref
+		}
+		local := f.spec.LocalSpeedMS
+		if local == 0 {
+			local = f.maxSpeed / 2
+		}
+		return mobility.NewGroupMember(ref, f.spec.RadiusM, local, f.pause,
+			f.rng.Stream(fmt.Sprintf(sim.StreamScengenGroup, fmt.Sprintf("m.%d", i))))
+	default:
+		panic(fmt.Sprintf("scengen: unknown mobility kind %q", f.spec.Kind))
+	}
+}

@@ -1,0 +1,87 @@
+package scengen
+
+import (
+	"testing"
+
+	"ecgrid/internal/geom"
+	"ecgrid/internal/mobility"
+	"ecgrid/internal/sim"
+)
+
+// TestFactoryGroupSharing: members of one group attach to one shared
+// reference (they stay within a group diameter of each other forever),
+// and different groups get different references.
+func TestFactoryGroupSharing(t *testing.T) {
+	spec := &Mobility{Kind: MobilityGroup, GroupSize: 3, RadiusM: 60}
+	f := NewMobilityFactory(spec, area1000(), 10, 0, sim.NewRNG(5))
+	models := make([]mobility.Model, 6)
+	for i := range models {
+		models[i] = f.Model(i, geom.Point{X: 200 + 100*float64(i), Y: 500})
+	}
+	if len(f.refs) != 2 {
+		t.Fatalf("6 hosts in groups of 3 created %d references", len(f.refs))
+	}
+	for u := 0.0; u < 300; u += 7 {
+		if d := models[0].Position(u).Dist(models[2].Position(u)); d > 2*60*1.4143 {
+			t.Fatalf("t=%v: same-group members %v m apart", u, d)
+		}
+	}
+	// Distinct groups must not share a trajectory.
+	same := true
+	for u := 10.0; u < 300; u += 10 {
+		if models[0].Position(u) != models[3].Position(u) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("hosts of different groups follow one trajectory")
+	}
+}
+
+// TestFactoryDeterministic: two factories over equal seeds expand to
+// identical trajectories, for both kinds.
+func TestFactoryDeterministic(t *testing.T) {
+	for _, spec := range []*Mobility{
+		{Kind: MobilityManhattan, BlockM: 100},
+		{Kind: MobilityGroup, GroupSize: 4, RadiusM: 50, LocalSpeedMS: 1},
+	} {
+		build := func() []mobility.Model {
+			f := NewMobilityFactory(spec, area1000(), 8, 1, sim.NewRNG(11))
+			ms := make([]mobility.Model, 8)
+			for i := range ms {
+				ms[i] = f.Model(i, geom.Point{X: 100 * float64(i+1), Y: 300})
+			}
+			return ms
+		}
+		a, b := build(), build()
+		for i := range a {
+			for u := 0.0; u < 200; u += 3 {
+				if a[i].Position(u) != b[i].Position(u) {
+					t.Fatalf("%s: host %d diverges at t=%v", spec.Kind, i, u)
+				}
+			}
+		}
+	}
+}
+
+// TestFactoryManhattanOnLattice: factory-built street models respect
+// the model invariant (a smoke check that parameters pass through).
+func TestFactoryManhattanOnLattice(t *testing.T) {
+	f := NewMobilityFactory(&Mobility{Kind: MobilityManhattan, BlockM: 250}, area1000(), 14, 0.5, sim.NewRNG(3))
+	m := f.Model(0, geom.Point{X: 333, Y: 777})
+	for u := 0.0; u < 500; u += 1.3 {
+		p := m.Position(u)
+		onX := p.X == 0 || p.X == 250 || p.X == 500 || p.X == 750 || p.X == 1000
+		onY := p.Y == 0 || p.Y == 250 || p.Y == 500 || p.Y == 750 || p.Y == 1000
+		// One coordinate sits exactly on a street during travel along
+		// the other; allow float slop via rounding.
+		if !onX && !onY {
+			rx := p.X/250 - float64(int(p.X/250+0.5))
+			ry := p.Y/250 - float64(int(p.Y/250+0.5))
+			if rx > 1e-9 && rx < 1-1e-9 && ry > 1e-9 && ry < 1-1e-9 {
+				t.Fatalf("t=%v: %v off the 250 m lattice", u, p)
+			}
+		}
+	}
+}

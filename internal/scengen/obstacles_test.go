@@ -1,0 +1,91 @@
+package scengen
+
+import (
+	"testing"
+
+	"ecgrid/internal/geom"
+)
+
+func wall() *ObstacleMap {
+	// A vertical wall from (400,0)–(420,800), half-attenuating.
+	return NewObstacleMap(&Propagation{Obstacles: []Obstacle{
+		{MinX: 400, MinY: 0, MaxX: 420, MaxY: 800, Atten: 0.5},
+	}})
+}
+
+func TestEffectiveRangeThroughWall(t *testing.T) {
+	m := wall()
+	from, to := geom.Point{X: 300, Y: 100}, geom.Point{X: 500, Y: 100}
+	if got := m.EffectiveRange(250, from, to); got != 125 {
+		t.Fatalf("range through the wall = %v, want 125", got)
+	}
+	// Around the wall: line of sight above its top edge.
+	from, to = geom.Point{X: 300, Y: 900}, geom.Point{X: 500, Y: 900}
+	if got := m.EffectiveRange(250, from, to); got != 250 {
+		t.Fatalf("range around the wall = %v, want 250", got)
+	}
+}
+
+func TestDeliverable(t *testing.T) {
+	m := wall()
+	from := geom.Point{X: 300, Y: 100}
+	// 200 m through the wall: beyond the shrunk 125 m range.
+	if m.Deliverable(250, from, geom.Point{X: 500, Y: 100}) {
+		t.Fatal("delivery through the wall beyond the attenuated range")
+	}
+	// 110 m through the wall: still within 125 m.
+	if !m.Deliverable(250, from, geom.Point{X: 410, Y: 100}) {
+		t.Fatal("short hop through the wall rejected")
+	}
+	// 200 m with clear line of sight.
+	if !m.Deliverable(250, from, geom.Point{X: 100, Y: 100}) {
+		t.Fatal("unobstructed delivery rejected")
+	}
+}
+
+func TestFullBlockZeroesRange(t *testing.T) {
+	m := NewObstacleMap(&Propagation{Obstacles: []Obstacle{
+		{MinX: 400, MinY: 0, MaxX: 420, MaxY: 1000, Atten: 1},
+	}})
+	if got := m.EffectiveRange(250, geom.Point{X: 0, Y: 1}, geom.Point{X: 1000, Y: 1}); got != 0 {
+		t.Fatalf("full-block obstacle left range %v", got)
+	}
+	if m.Deliverable(250, geom.Point{X: 390, Y: 500}, geom.Point{X: 430, Y: 500}) {
+		t.Fatal("delivery across a full-block obstacle")
+	}
+}
+
+func TestOverlappingObstaclesCompound(t *testing.T) {
+	m := NewObstacleMap(&Propagation{Obstacles: []Obstacle{
+		{MinX: 400, MinY: 0, MaxX: 420, MaxY: 1000, Atten: 0.5},
+		{MinX: 600, MinY: 0, MaxX: 620, MaxY: 1000, Atten: 0.5},
+	}})
+	if got := m.EffectiveRange(400, geom.Point{X: 300, Y: 5}, geom.Point{X: 700, Y: 5}); got != 100 {
+		t.Fatalf("two half-walls leave range %v, want 100", got)
+	}
+}
+
+func TestSegmentCrossings(t *testing.T) {
+	o := &Obstacle{MinX: 100, MinY: 100, MaxX: 200, MaxY: 200}
+	cases := []struct {
+		name string
+		a, b geom.Point
+		want bool
+	}{
+		{"through", geom.Point{X: 50, Y: 150}, geom.Point{X: 250, Y: 150}, true},
+		{"diagonal corner cut", geom.Point{X: 90, Y: 120}, geom.Point{X: 120, Y: 90}, true},
+		{"miss above", geom.Point{X: 50, Y: 250}, geom.Point{X: 250, Y: 250}, false},
+		{"miss beside", geom.Point{X: 250, Y: 50}, geom.Point{X: 250, Y: 250}, false},
+		{"stops short", geom.Point{X: 0, Y: 150}, geom.Point{X: 50, Y: 150}, false},
+		{"endpoint inside", geom.Point{X: 150, Y: 150}, geom.Point{X: 400, Y: 150}, true},
+		{"both inside", geom.Point{X: 120, Y: 120}, geom.Point{X: 180, Y: 180}, true},
+		{"grazes edge", geom.Point{X: 0, Y: 100}, geom.Point{X: 300, Y: 100}, true},
+		{"degenerate outside", geom.Point{X: 50, Y: 50}, geom.Point{X: 50, Y: 50}, false},
+		{"degenerate inside", geom.Point{X: 150, Y: 150}, geom.Point{X: 150, Y: 150}, true},
+	}
+	for _, c := range cases {
+		if got := segmentCrossesRect(c.a, c.b, o); got != c.want {
+			t.Errorf("%s: segmentCrossesRect = %v, want %v", c.name, got, c.want)
+		}
+	}
+}

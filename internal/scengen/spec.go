@@ -1,0 +1,216 @@
+// Package scengen is the composable scenario generator: a declarative,
+// JSON-serializable Spec that expands into concrete placements,
+// mobility models, traffic shapes, and propagation maps on dedicated
+// RNG streams. A Spec rides inside scenario.Config the same way a
+// faults.Plan does — `json:",omitempty"`, so configs without one keep
+// their canonical encoding and batch keys — and the same spec plus the
+// same seed always expands to the same run.
+//
+// The package deliberately knows nothing about scenario or runner: it
+// turns spec fields into geom/mobility-level objects, and the runner
+// does the final assembly. That keeps the import graph acyclic
+// (scenario → scengen, runner → both).
+package scengen
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Deployment kinds.
+const (
+	// DeployUniform places hosts i.i.d. uniform over the area — the
+	// paper's default, but drawn on the scengen.deploy stream.
+	DeployUniform = "uniform"
+	// DeployClustered places hosts around a few hotspot centers with
+	// Gaussian scatter: dense neighborhoods, sparse in between.
+	DeployClustered = "clustered"
+	// DeployGrid snaps hosts to a √N×√N lattice with optional jitter —
+	// the adversarial best case for grid routing (every cell occupied).
+	DeployGrid = "grid"
+)
+
+// Mobility kinds.
+const (
+	// MobilityManhattan constrains motion to a city-block street
+	// lattice (axis-parallel segments, turns at intersections).
+	MobilityManhattan = "manhattan"
+	// MobilityGroup is reference-point group mobility: hosts move in
+	// cohesive groups around shared waypoint references.
+	MobilityGroup = "group"
+)
+
+// Traffic kinds.
+const (
+	// TrafficOnOff replaces each CBR flow with a bursty on/off source
+	// at the same rate while on.
+	TrafficOnOff = "onoff"
+	// TrafficReqResp replaces each CBR flow with a request/response
+	// pair (responses travel on their own flow ids).
+	TrafficReqResp = "reqresp"
+)
+
+// Spec is the declarative generator input. Every axis is optional and
+// nil means "whatever the base config says": a Spec with only a
+// Deployment changes placement and nothing else.
+type Spec struct {
+	Deployment  *Deployment  `json:"deployment,omitempty"`
+	Mobility    *Mobility    `json:"mobility,omitempty"`
+	Traffic     *Traffic     `json:"traffic,omitempty"`
+	Propagation *Propagation `json:"propagation,omitempty"`
+}
+
+// Deployment selects and parameterizes the placement axis.
+type Deployment struct {
+	Kind string `json:"kind"`
+	// Clusters and StdDevM parameterize DeployClustered: the number of
+	// hotspot centers and the Gaussian scatter around each.
+	Clusters int     `json:"clusters,omitempty"`
+	StdDevM  float64 `json:"stddev_m,omitempty"`
+	// JitterM perturbs DeployGrid lattice points uniformly in
+	// [-jitter, jitter] per axis (0 = exact lattice).
+	JitterM float64 `json:"jitter_m,omitempty"`
+}
+
+// Mobility selects and parameterizes the movement axis for every host.
+type Mobility struct {
+	Kind string `json:"kind"`
+	// BlockM is the Manhattan street-block side in meters.
+	BlockM float64 `json:"block_m,omitempty"`
+	// GroupSize, RadiusM, and LocalSpeedMS parameterize group mobility:
+	// hosts 0..size-1 form group 0, and so on; members roam within
+	// RadiusM of their reference at LocalSpeedMS (default: half the
+	// config's max speed).
+	GroupSize    int     `json:"group_size,omitempty"`
+	RadiusM      float64 `json:"radius_m,omitempty"`
+	LocalSpeedMS float64 `json:"local_speed_ms,omitempty"`
+}
+
+// Traffic reshapes each configured flow; count, rate, packet size, and
+// endpoint selection stay with the base config.
+type Traffic struct {
+	Kind string `json:"kind"`
+	// MeanOnS / MeanOffS are the on/off burst and silence means.
+	MeanOnS  float64 `json:"mean_on_s,omitempty"`
+	MeanOffS float64 `json:"mean_off_s,omitempty"`
+	// RespBytes and RespDelayS shape request/response flows: response
+	// size (default: the request size) and service delay.
+	RespBytes  int     `json:"resp_bytes,omitempty"`
+	RespDelayS float64 `json:"resp_delay_s,omitempty"`
+}
+
+// Propagation adds rectangular obstacles to the delivery path.
+type Propagation struct {
+	Obstacles []Obstacle `json:"obstacles"`
+}
+
+// Obstacle is an axis-aligned attenuating rectangle. A transmission
+// whose line of sight crosses it has its effective range multiplied by
+// (1 - Atten); Atten 1 blocks completely. Attenuation is a
+// deterministic function of geometry — no RNG draw — so the obstacle
+// map cannot perturb any other stream.
+type Obstacle struct {
+	MinX  float64 `json:"min_x"`
+	MinY  float64 `json:"min_y"`
+	MaxX  float64 `json:"max_x"`
+	MaxY  float64 `json:"max_y"`
+	Atten float64 `json:"atten"`
+}
+
+// Empty reports whether the spec changes nothing.
+func (s *Spec) Empty() bool {
+	return s == nil ||
+		(s.Deployment == nil && s.Mobility == nil && s.Traffic == nil && s.Propagation == nil)
+}
+
+func bad(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
+
+// Validate checks the spec against the run it will expand into: hosts
+// is the total host count, areaSize the square region side.
+func (s *Spec) Validate(hosts int, areaSize float64) error {
+	if s == nil {
+		return nil
+	}
+	if d := s.Deployment; d != nil {
+		switch d.Kind {
+		case DeployUniform:
+		case DeployClustered:
+			if d.Clusters <= 0 {
+				return errors.New("scengen: clustered deployment needs at least one cluster")
+			}
+			if d.Clusters > hosts {
+				return fmt.Errorf("scengen: %d clusters for %d hosts", d.Clusters, hosts)
+			}
+			if d.StdDevM <= 0 || bad(d.StdDevM) {
+				return errors.New("scengen: clustered deployment needs a positive scatter")
+			}
+		case DeployGrid:
+			if d.JitterM < 0 || bad(d.JitterM) {
+				return errors.New("scengen: negative grid jitter")
+			}
+		default:
+			return fmt.Errorf("scengen: unknown deployment kind %q", d.Kind)
+		}
+	}
+	if m := s.Mobility; m != nil {
+		switch m.Kind {
+		case MobilityManhattan:
+			if m.BlockM <= 0 || bad(m.BlockM) {
+				return errors.New("scengen: manhattan mobility needs a positive block size")
+			}
+			if m.BlockM > areaSize {
+				return errors.New("scengen: manhattan block larger than the area")
+			}
+		case MobilityGroup:
+			if m.GroupSize <= 0 {
+				return errors.New("scengen: group mobility needs a positive group size")
+			}
+			if m.RadiusM <= 0 || bad(m.RadiusM) {
+				return errors.New("scengen: group mobility needs a positive radius")
+			}
+			if 2*m.RadiusM >= areaSize {
+				return errors.New("scengen: group radius too large for the area")
+			}
+			if m.LocalSpeedMS < 0 || bad(m.LocalSpeedMS) {
+				return errors.New("scengen: negative group local speed")
+			}
+		default:
+			return fmt.Errorf("scengen: unknown mobility kind %q", m.Kind)
+		}
+	}
+	if t := s.Traffic; t != nil {
+		switch t.Kind {
+		case TrafficOnOff:
+			if t.MeanOnS <= 0 || t.MeanOffS <= 0 || bad(t.MeanOnS) || bad(t.MeanOffS) {
+				return errors.New("scengen: on/off traffic needs positive burst and silence means")
+			}
+		case TrafficReqResp:
+			if t.RespBytes < 0 {
+				return errors.New("scengen: negative response size")
+			}
+			if t.RespDelayS < 0 || bad(t.RespDelayS) {
+				return errors.New("scengen: negative response delay")
+			}
+		default:
+			return fmt.Errorf("scengen: unknown traffic kind %q", t.Kind)
+		}
+	}
+	if p := s.Propagation; p != nil {
+		if len(p.Obstacles) == 0 {
+			return errors.New("scengen: propagation map without obstacles")
+		}
+		for i, o := range p.Obstacles {
+			if bad(o.MinX) || bad(o.MinY) || bad(o.MaxX) || bad(o.MaxY) || bad(o.Atten) {
+				return fmt.Errorf("scengen: obstacle %d has non-finite geometry", i)
+			}
+			if o.MinX >= o.MaxX || o.MinY >= o.MaxY {
+				return fmt.Errorf("scengen: obstacle %d is degenerate", i)
+			}
+			if o.Atten <= 0 || o.Atten > 1 {
+				return fmt.Errorf("scengen: obstacle %d attenuation %v outside (0, 1]", i, o.Atten)
+			}
+		}
+	}
+	return nil
+}

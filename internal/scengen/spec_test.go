@@ -1,0 +1,107 @@
+package scengen
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func validSpec() *Spec {
+	return &Spec{
+		Deployment:  &Deployment{Kind: DeployClustered, Clusters: 4, StdDevM: 60},
+		Mobility:    &Mobility{Kind: MobilityManhattan, BlockM: 100},
+		Traffic:     &Traffic{Kind: TrafficOnOff, MeanOnS: 5, MeanOffS: 10},
+		Propagation: &Propagation{Obstacles: []Obstacle{{MinX: 100, MinY: 100, MaxX: 300, MaxY: 200, Atten: 0.5}}},
+	}
+}
+
+func TestSpecValidateAccepts(t *testing.T) {
+	if err := validSpec().Validate(100, 1000); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	var nilSpec *Spec
+	if err := nilSpec.Validate(100, 1000); err != nil {
+		t.Fatalf("nil spec rejected: %v", err)
+	}
+	group := &Spec{Mobility: &Mobility{Kind: MobilityGroup, GroupSize: 5, RadiusM: 80}}
+	if err := group.Validate(100, 1000); err != nil {
+		t.Fatalf("group spec rejected: %v", err)
+	}
+	rr := &Spec{Traffic: &Traffic{Kind: TrafficReqResp, RespBytes: 1024, RespDelayS: 0.1}}
+	if err := rr.Validate(100, 1000); err != nil {
+		t.Fatalf("reqresp spec rejected: %v", err)
+	}
+	grid := &Spec{Deployment: &Deployment{Kind: DeployGrid, JitterM: 10}}
+	if err := grid.Validate(100, 1000); err != nil {
+		t.Fatalf("grid spec rejected: %v", err)
+	}
+}
+
+func TestSpecValidateRejects(t *testing.T) {
+	mutations := map[string]func(*Spec){
+		"unknown deployment": func(s *Spec) { s.Deployment.Kind = "bogus" },
+		"zero clusters":      func(s *Spec) { s.Deployment.Clusters = 0 },
+		"clusters > hosts":   func(s *Spec) { s.Deployment.Clusters = 101 },
+		"zero scatter":       func(s *Spec) { s.Deployment.StdDevM = 0 },
+		"NaN scatter":        func(s *Spec) { s.Deployment.StdDevM = math.NaN() },
+		"negative jitter":    func(s *Spec) { s.Deployment = &Deployment{Kind: DeployGrid, JitterM: -1} },
+		"unknown mobility":   func(s *Spec) { s.Mobility.Kind = "teleport" },
+		"zero block":         func(s *Spec) { s.Mobility.BlockM = 0 },
+		"block > area":       func(s *Spec) { s.Mobility.BlockM = 2000 },
+		"NaN block":          func(s *Spec) { s.Mobility.BlockM = math.NaN() },
+		"zero group size":    func(s *Spec) { s.Mobility = &Mobility{Kind: MobilityGroup, RadiusM: 50} },
+		"zero group radius":  func(s *Spec) { s.Mobility = &Mobility{Kind: MobilityGroup, GroupSize: 5} },
+		"radius > area":      func(s *Spec) { s.Mobility = &Mobility{Kind: MobilityGroup, GroupSize: 5, RadiusM: 600} },
+		"negative local speed": func(s *Spec) {
+			s.Mobility = &Mobility{Kind: MobilityGroup, GroupSize: 5, RadiusM: 50, LocalSpeedMS: -1}
+		},
+		"unknown traffic":     func(s *Spec) { s.Traffic.Kind = "poisson" },
+		"zero on mean":        func(s *Spec) { s.Traffic.MeanOnS = 0 },
+		"zero off mean":       func(s *Spec) { s.Traffic.MeanOffS = 0 },
+		"Inf on mean":         func(s *Spec) { s.Traffic.MeanOnS = math.Inf(1) },
+		"negative resp bytes": func(s *Spec) { s.Traffic = &Traffic{Kind: TrafficReqResp, RespBytes: -1} },
+		"negative resp delay": func(s *Spec) { s.Traffic = &Traffic{Kind: TrafficReqResp, RespDelayS: -1} },
+		"no obstacles":        func(s *Spec) { s.Propagation.Obstacles = nil },
+		"inverted obstacle":   func(s *Spec) { s.Propagation.Obstacles[0].MaxX = 50 },
+		"NaN obstacle":        func(s *Spec) { s.Propagation.Obstacles[0].MinY = math.NaN() },
+		"zero attenuation":    func(s *Spec) { s.Propagation.Obstacles[0].Atten = 0 },
+		"attenuation > 1":     func(s *Spec) { s.Propagation.Obstacles[0].Atten = 1.5 },
+	}
+	for name, mutate := range mutations {
+		s := validSpec()
+		mutate(s)
+		if err := s.Validate(100, 1000); err == nil {
+			t.Errorf("%s: Validate accepted it", name)
+		}
+	}
+}
+
+func TestSpecEmpty(t *testing.T) {
+	var nilSpec *Spec
+	if !nilSpec.Empty() || !(&Spec{}).Empty() {
+		t.Error("nil/zero spec not Empty")
+	}
+	if (&Spec{Traffic: &Traffic{}}).Empty() {
+		t.Error("spec with an axis reported Empty")
+	}
+}
+
+// TestSpecJSONRoundTrip: the spec is part of the canonical config
+// encoding, so encode→decode→encode must be stable.
+func TestSpecJSONRoundTrip(t *testing.T) {
+	a, err := json.Marshal(validSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Spec
+	if err := json.Unmarshal(a, &s); err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("round trip changed the encoding:\n%s\n%s", a, b)
+	}
+}

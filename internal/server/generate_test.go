@@ -1,0 +1,78 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"ecgrid/internal/batch"
+	"ecgrid/internal/scenario"
+	"ecgrid/internal/scengen"
+)
+
+func postGenerate(t *testing.T, ts *httptest.Server, cfg scenario.Config) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/generate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestGenerateReturnsRunKey: /v1/generate previews exactly the identity
+// a run would have — its key must equal batch.Key of the posted config,
+// and the echoed config must round-trip to the same key.
+func TestGenerateReturnsRunKey(t *testing.T) {
+	ts, _, _ := newTestServer(t, nil)
+	cfg := smallCfg(3)
+	cfg.Gen = &scengen.Spec{
+		Deployment: &scengen.Deployment{Kind: scengen.DeployClustered, Clusters: 2, StdDevM: 80},
+		Mobility:   &scengen.Mobility{Kind: scengen.MobilityManhattan, BlockM: 100},
+	}
+
+	resp := postGenerate(t, ts, cfg)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("generate status %d: %s", resp.StatusCode, readAll(t, resp))
+	}
+	var out struct {
+		Key    string          `json:"key"`
+		Config scenario.Config `json:"config"`
+	}
+	if err := json.Unmarshal(readAll(t, resp), &out); err != nil {
+		t.Fatal(err)
+	}
+	if want := batch.Key(cfg); out.Key != want {
+		t.Fatalf("generate key %s, want %s", out.Key, want)
+	}
+	if batch.Key(out.Config) != out.Key {
+		t.Fatal("echoed config does not hash back to the returned key")
+	}
+	if out.Config.Gen == nil || out.Config.Gen.Mobility == nil {
+		t.Fatal("generator spec lost in the echo")
+	}
+}
+
+// TestGenerateRejectsInvalid: validation failures surface as 400s, same
+// as /v1/run, without touching the store or the job table.
+func TestGenerateRejectsInvalid(t *testing.T) {
+	ts, srv, _ := newTestServer(t, nil)
+	cfg := smallCfg(3)
+	cfg.Gen = &scengen.Spec{Mobility: &scengen.Mobility{Kind: "teleport"}}
+	resp := postGenerate(t, ts, cfg)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid spec got status %d", resp.StatusCode)
+	}
+	readAll(t, resp)
+	srv.mu.Lock()
+	jobs := len(srv.jobs)
+	srv.mu.Unlock()
+	if jobs != 0 {
+		t.Fatalf("generate enqueued %d jobs", jobs)
+	}
+}

@@ -157,7 +157,7 @@ func newMetricsSet(queueDepth func() int, storeLen func() int) *metricsSet {
 		endpoints: make(map[string]*latencyHist),
 	}
 	lat := new(expvar.Map).Init()
-	for _, name := range []string{"run", "result", "jobs"} {
+	for _, name := range []string{"run", "result", "jobs", "generate"} {
 		h := newLatencyHist()
 		m.endpoints[name] = h
 		lat.Set(name, h)

@@ -22,7 +22,7 @@
 //     result from GET /v1/result/{key} when it lands.
 //
 // Endpoints: POST /v1/run, GET /v1/result/{key}, GET /v1/jobs,
-// GET /healthz, GET /metrics.
+// POST /v1/generate, GET /healthz, GET /metrics.
 package server
 
 import (
@@ -166,6 +166,7 @@ func New(cfg Config) (*Server, error) {
 	)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.timed("run", s.handleRun))
+	mux.HandleFunc("POST /v1/generate", s.timed("generate", s.handleGenerate))
 	mux.HandleFunc("GET /v1/result/{key}", s.timed("result", s.handleResult))
 	mux.HandleFunc("GET /v1/jobs", s.timed("jobs", s.handleJobs))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -366,6 +367,27 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		// Caller hung up; nothing to write. The job keeps going and its
 		// result lands in the store for the retry.
 	}
+}
+
+// handleGenerate is POST /v1/generate: validate a scenario — typically
+// one carrying a generator spec — and return its canonical config plus
+// the batch key, without running anything. Clients use it to preview
+// what a spec expands to and which store entry a run would land under;
+// the key here always equals the key a later POST /v1/run computes.
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	cfg, err := decodeConfig(r)
+	if err != nil {
+		fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := cfg.Validate(); err != nil {
+		fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"key":    batch.Key(cfg),
+		"config": cfg,
+	})
 }
 
 // admit joins an in-flight job for key, or creates one within the queue

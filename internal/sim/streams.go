@@ -41,6 +41,20 @@ const (
 	StreamHelloJitter = "core.hellojitter"
 	// StreamRadioBackoff draws CSMA contention-window slots.
 	StreamRadioBackoff = "radio.backoff"
+	// StreamScengenDeploy draws generated host deployments (cluster
+	// centers, per-host placement) for internal/scengen.
+	StreamScengenDeploy = "scengen.deploy"
+	// StreamScengenManhattan is the per-host street-mobility stream
+	// family; expand with fmt.Sprintf(StreamScengenManhattan, hostIndex).
+	StreamScengenManhattan = "scengen.manhattan.%d"
+	// StreamScengenGroup is the group-mobility stream family: one stream
+	// per group reference point and one per member's local motion;
+	// expand with fmt.Sprintf(StreamScengenGroup, key) where key is
+	// "ref.<group>" or "m.<hostIndex>".
+	StreamScengenGroup = "scengen.group.%s"
+	// StreamScengenTraffic draws generated traffic: flow endpoints,
+	// start phases, and bursty on/off period lengths.
+	StreamScengenTraffic = "scengen.traffic"
 )
 
 // StreamRegistry enumerates every registered stream name (format
@@ -60,4 +74,8 @@ var StreamRegistry = []string{
 	StreamHelloPhase,
 	StreamHelloJitter,
 	StreamRadioBackoff,
+	StreamScengenDeploy,
+	StreamScengenManhattan,
+	StreamScengenGroup,
+	StreamScengenTraffic,
 }

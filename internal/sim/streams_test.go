@@ -26,7 +26,11 @@ func TestStreamRegistryUnique(t *testing.T) {
 // passing an unexpanded format to Stream would silently mint a literal
 // "mob.%d" stream.
 func TestStreamFamiliesAreFormats(t *testing.T) {
-	families := map[string]bool{StreamMobility: true}
+	families := map[string]bool{
+		StreamMobility:         true,
+		StreamScengenManhattan: true,
+		StreamScengenGroup:     true,
+	}
 	for _, name := range StreamRegistry {
 		if strings.Contains(name, "%") != families[name] {
 			t.Errorf("stream %q: %% in non-family name (or family not declared)", name)

@@ -1,0 +1,118 @@
+package traffic
+
+import (
+	"testing"
+
+	"ecgrid/internal/routing"
+	"ecgrid/internal/sim"
+)
+
+func runOnOff(seed int64) []*routing.DataPacket {
+	e := sim.NewEngine()
+	snk := &capture{}
+	flow := &OnOff{Flow: 1, Src: 2, Dst: 9, Rate: 20, Bytes: 256, MeanOnS: 2, MeanOffS: 3}
+	flow.Start(e, snk, sim.NewRNG(seed), 0)
+	e.Run(120)
+	return snk.pkts
+}
+
+// TestOnOffDeterministic: two runs with the same seed emit identical
+// packet sequences (flow clocks draw only from the named RNG stream).
+func TestOnOffDeterministic(t *testing.T) {
+	a, b := runOnOff(7), runOnOff(7)
+	if len(a) != len(b) {
+		t.Fatalf("runs emitted %d vs %d packets", len(a), len(b))
+	}
+	for i := range a {
+		if *a[i] != *b[i] {
+			t.Fatalf("packet %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestOnOffIsBursty: the flow actually goes silent — over a long run it
+// emits meaningfully fewer packets than an always-on CBR at the same
+// rate, but not zero, and there is at least one inter-packet gap much
+// longer than the emission period (an off phase).
+func TestOnOffIsBursty(t *testing.T) {
+	pkts := runOnOff(3)
+	alwaysOn := 20 * 120
+	if len(pkts) == 0 {
+		t.Fatal("flow never emitted")
+	}
+	if len(pkts) >= alwaysOn {
+		t.Fatalf("emitted %d packets, as many as an always-on source", len(pkts))
+	}
+	longest := 0.0
+	for i := 1; i < len(pkts); i++ {
+		if gap := pkts[i].SentAt - pkts[i-1].SentAt; gap > longest {
+			longest = gap
+		}
+	}
+	if longest < 0.5 { // period is 1/20 s; an off phase means a ≫period gap
+		t.Fatalf("longest inter-packet gap %v s: no silences observed", longest)
+	}
+}
+
+// TestOnOffSequencesAndContents: seqs are contiguous from 1 and the
+// addressing fields survive the gating.
+func TestOnOffSequencesAndContents(t *testing.T) {
+	pkts := runOnOff(11)
+	for i, p := range pkts {
+		if p.Seq != i+1 {
+			t.Fatalf("packet %d has seq %d", i, p.Seq)
+		}
+		if p.Flow != 1 || p.Src != 2 || p.Dst != 9 || p.Bytes != 256 {
+			t.Fatalf("packet %d = %+v", i, p)
+		}
+	}
+}
+
+// TestOnOffGateAndStop mirror the CBR behaviors.
+func TestOnOffGateAndStop(t *testing.T) {
+	e := sim.NewEngine()
+	snk := &capture{}
+	open := true
+	flow := &OnOff{Flow: 1, Src: 1, Dst: 2, Rate: 10, Bytes: 64, MeanOnS: 1000, MeanOffS: 1}
+	flow.Gate = func() bool { return open }
+	flow.Start(e, snk, sim.NewRNG(1), 0)
+	e.Run(2)
+	open = false
+	e.Run(4)
+	n := len(snk.pkts)
+	if n == 0 {
+		t.Fatal("gated flow never emitted while open")
+	}
+	open = true
+	flow.Stop()
+	e.Run(10)
+	if len(snk.pkts) != n {
+		t.Fatalf("stopped flow kept emitting: %d -> %d", n, len(snk.pkts))
+	}
+}
+
+func TestOnOffValidation(t *testing.T) {
+	for name, flow := range map[string]*OnOff{
+		"zero rate":     {Rate: 0, Bytes: 1, MeanOnS: 1, MeanOffS: 1},
+		"zero bytes":    {Rate: 1, Bytes: 0, MeanOnS: 1, MeanOffS: 1},
+		"zero on mean":  {Rate: 1, Bytes: 1, MeanOnS: 0, MeanOffS: 1},
+		"zero off mean": {Rate: 1, Bytes: 1, MeanOnS: 1, MeanOffS: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			flow.Start(sim.NewEngine(), &capture{}, sim.NewRNG(1), 0)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nil rng: no panic")
+			}
+		}()
+		(&OnOff{Rate: 1, Bytes: 1, MeanOnS: 1, MeanOffS: 1}).Start(sim.NewEngine(), &capture{}, nil, 0)
+	}()
+}

@@ -1,0 +1,154 @@
+package traffic
+
+import (
+	"testing"
+
+	"ecgrid/internal/routing"
+	"ecgrid/internal/sim"
+)
+
+// loop is a Sender that delivers every submitted packet straight into a
+// ReqResp pair's Delivered hook, modeling a lossless network, while
+// also recording the packet.
+type loop struct {
+	pkts []*routing.DataPacket
+	rr   *ReqResp
+}
+
+func (l *loop) SubmitData(pkt *routing.DataPacket) {
+	l.pkts = append(l.pkts, pkt)
+	l.rr.Delivered(pkt)
+}
+
+// TestReqRespPairsRequests: over a lossless network every request gets
+// exactly one response, on the response flow, after the service delay.
+func TestReqRespPairsRequests(t *testing.T) {
+	e := sim.NewEngine()
+	rr := &ReqResp{Flow: 1, RespFlow: 2, A: 4, B: 8, Interval: 1, Bytes: 64, RespBytes: 1024, RespDelayS: 0.25}
+	net := &loop{rr: rr}
+	rr.Start(e, net, net, 0)
+	e.Run(10.5)
+	var reqs, resps []*routing.DataPacket
+	for _, p := range net.pkts {
+		switch p.Flow {
+		case 1:
+			reqs = append(reqs, p)
+		case 2:
+			resps = append(resps, p)
+		default:
+			t.Fatalf("packet on unexpected flow %d", p.Flow)
+		}
+	}
+	if len(reqs) != 10 || len(resps) != 10 {
+		t.Fatalf("%d requests, %d responses; want 10 each", len(reqs), len(resps))
+	}
+	for i := range reqs {
+		q, s := reqs[i], resps[i]
+		if q.Src != 4 || q.Dst != 8 || q.Bytes != 64 {
+			t.Fatalf("request %d = %+v", i, q)
+		}
+		if s.Src != 8 || s.Dst != 4 || s.Bytes != 1024 {
+			t.Fatalf("response %d = %+v", i, s)
+		}
+		if s.SentAt != q.SentAt+0.25 {
+			t.Fatalf("response %d at %v, request at %v: service delay wrong", i, s.SentAt, q.SentAt)
+		}
+		if q.Seq != i+1 || s.Seq != i+1 {
+			t.Fatalf("pair %d has seqs %d/%d", i, q.Seq, s.Seq)
+		}
+	}
+	if rr.Emitted() != 20 {
+		t.Fatalf("Emitted() = %d, want 20", rr.Emitted())
+	}
+}
+
+// TestReqRespLostRequestNoResponse: requests that never reach B produce
+// no response — Delivered drives responses, not the send clock.
+func TestReqRespLostRequestNoResponse(t *testing.T) {
+	e := sim.NewEngine()
+	rr := &ReqResp{Flow: 1, RespFlow: 2, A: 4, B: 8, Interval: 1, Bytes: 64, RespBytes: 64, RespDelayS: 0.1}
+	drop := &capture{} // records but never delivers
+	rr.Start(e, drop, drop, 0)
+	e.Run(5.5)
+	for _, p := range drop.pkts {
+		if p.Flow == 2 {
+			t.Fatalf("response emitted for an undelivered request: %+v", p)
+		}
+	}
+	if len(drop.pkts) != 5 {
+		t.Fatalf("emitted %d packets, want 5 requests", len(drop.pkts))
+	}
+}
+
+// TestReqRespIgnoresForeignDeliveries: deliveries of other flows (or of
+// this pair's own responses arriving back at A) never trigger a
+// response.
+func TestReqRespIgnoresForeignDeliveries(t *testing.T) {
+	e := sim.NewEngine()
+	rr := &ReqResp{Flow: 1, RespFlow: 2, A: 4, B: 8, Interval: 100, Bytes: 64, RespBytes: 64, RespDelayS: 0.1}
+	snk := &capture{}
+	rr.Start(e, snk, snk, 0)
+	rr.Delivered(&routing.DataPacket{Flow: 3, Dst: 8})
+	rr.Delivered(&routing.DataPacket{Flow: 2, Dst: 4}) // own response at A
+	rr.Delivered(&routing.DataPacket{Flow: 1, Dst: 4}) // request flow, wrong endpoint
+	e.Run(50)
+	if len(snk.pkts) != 0 {
+		t.Fatalf("foreign deliveries produced %d packets", len(snk.pkts))
+	}
+}
+
+// TestReqRespGates: GateA suppresses requests, GateB responses — a dead
+// endpoint stops its direction only.
+func TestReqRespGates(t *testing.T) {
+	e := sim.NewEngine()
+	rr := &ReqResp{Flow: 1, RespFlow: 2, A: 4, B: 8, Interval: 1, Bytes: 64, RespBytes: 64, RespDelayS: 0.1}
+	net := &loop{rr: rr}
+	bAlive := true
+	rr.GateB = func() bool { return bAlive }
+	rr.Start(e, net, net, 0)
+	e.Run(3.5) // 3 requests, 3 responses
+	bAlive = false
+	e.Run(3) // 3 more requests, no responses
+	resps := 0
+	for _, p := range net.pkts {
+		if p.Flow == 2 {
+			resps++
+		}
+	}
+	if resps != 3 {
+		t.Fatalf("%d responses after B died at t=3.5, want 3", resps)
+	}
+}
+
+// TestReqRespStop halts both the request clock and pending responses.
+func TestReqRespStop(t *testing.T) {
+	e := sim.NewEngine()
+	rr := &ReqResp{Flow: 1, RespFlow: 2, A: 4, B: 8, Interval: 1, Bytes: 64, RespBytes: 64, RespDelayS: 5}
+	net := &loop{rr: rr}
+	rr.Start(e, net, net, 0)
+	e.Run(2.5) // 2 requests in flight, responses due at 6 and 7
+	rr.Stop()
+	e.Run(20)
+	if len(net.pkts) != 2 {
+		t.Fatalf("stopped pair emitted %d packets, want the 2 pre-stop requests", len(net.pkts))
+	}
+}
+
+func TestReqRespValidation(t *testing.T) {
+	for name, rr := range map[string]*ReqResp{
+		"zero interval":   {RespFlow: 1, Interval: 0, Bytes: 1, RespBytes: 1},
+		"zero bytes":      {RespFlow: 1, Interval: 1, Bytes: 0, RespBytes: 1},
+		"zero resp bytes": {RespFlow: 1, Interval: 1, Bytes: 1, RespBytes: 0},
+		"negative delay":  {RespFlow: 1, Interval: 1, Bytes: 1, RespBytes: 1, RespDelayS: -1},
+		"same flow ids":   {Flow: 3, RespFlow: 3, Interval: 1, Bytes: 1, RespBytes: 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			rr.Start(sim.NewEngine(), &capture{}, &capture{}, 0)
+		}()
+	}
+}
