@@ -94,6 +94,12 @@ type Options struct {
 	// (cmd/figures -scenario). Changing Gen changes every batch key, so
 	// stressed and plain figure runs never collide in a shared store.
 	Gen *scengen.Spec
+	// Shards, when ≥ 2, runs every figure simulation on the sharded
+	// parallel engine (scenario.Config.Shards). Results are
+	// byte-identical for any value, but the field is part of the batch
+	// key, so sharded and serial figure runs cache separately — exactly
+	// like HeapScheduler.
+	Shards int
 }
 
 // Point is one sample of a result series.
@@ -181,6 +187,11 @@ func runJobs(jobs []batch.Job, opt Options) ([]*runner.Results, error) {
 				// leaving both set would fail validation as ambiguous.
 				jobs[i].Cfg.Mobility = ""
 			}
+		}
+	}
+	if opt.Shards != 0 {
+		for i := range jobs {
+			jobs[i].Cfg.Shards = opt.Shards
 		}
 	}
 	bopt := batch.Options{

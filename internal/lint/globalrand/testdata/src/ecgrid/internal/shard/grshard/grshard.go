@@ -1,0 +1,21 @@
+// Package grshard exercises globalrand inside the sharded-engine
+// package path: the audit's sampling draws must come from a named
+// sim.RNG stream — a global draw would consume from the process-wide
+// source in worker-scheduling order and break run-twice determinism.
+package grshard
+
+import "math/rand"
+
+func hits(k int) int {
+	s := rand.Intn(k)     // want `global rand.Intn draws from the process-wide source`
+	_ = rand.Float64()    // want `global rand.Float64`
+	rand.Shuffle(k, noop) // want `global rand.Shuffle`
+	return s
+}
+
+func noop(i, j int) {}
+
+func clean(r *rand.Rand, k int) int {
+	// Sampling from an injected per-run stream is the audit's contract.
+	return r.Intn(k)
+}

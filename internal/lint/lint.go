@@ -225,6 +225,7 @@ var SimPackages = []string{
 	"ecgrid/internal/faults",
 	"ecgrid/internal/spatial",
 	"ecgrid/internal/scengen",
+	"ecgrid/internal/shard",
 }
 
 // FloatPackages lists the package trees where floating-point ==/!= is

@@ -1,0 +1,38 @@
+// Package mrshard exercises maprange inside the sharded-engine package
+// path, which joined the simulation scope when internal/shard began
+// partitioning hosts and committing events on the engine's clock: a
+// map-ordered iteration over group membership would reorder ownership
+// handoffs between runs.
+package mrshard
+
+import "sort"
+
+type plan struct {
+	members map[int][]int
+}
+
+func hit(p *plan) int {
+	total := 0
+	for _, hosts := range p.members { // want `range over map p.members`
+		total += len(hosts)
+	}
+	return total
+}
+
+func suppressed(p *plan) []int {
+	groups := make([]int, 0, len(p.members))
+	//simlint:ordered groups are sorted before any handoff is applied
+	for g := range p.members {
+		groups = append(groups, g)
+	}
+	sort.Ints(groups)
+	return groups
+}
+
+func clean(lists [][]int) int {
+	total := 0
+	for _, hosts := range lists {
+		total += len(hosts)
+	}
+	return total
+}

@@ -1,0 +1,18 @@
+// Package rsshard checks rngstream in the sharded-engine package path:
+// the per-shard audit stream family must be minted by the central
+// registry (sim.StreamShardAudit), never an improvised literal — two
+// shards formatting the same ad-hoc name would silently share a stream.
+package rsshard
+
+import "fmt"
+
+type RNG struct{}
+
+func (r *RNG) Intn(name string, n int) int { return 0 }
+
+const localAudit = "shard.audit.%d" // a local const is not the registry
+
+func use(r *RNG, s int) {
+	r.Intn(fmt.Sprintf(localAudit, s), 8)       // want `RNG stream name must be a sim package constant`
+	r.Intn(fmt.Sprintf("shard.audit.%d", s), 8) // want `RNG stream name must be a sim package constant`
+}

@@ -1,0 +1,20 @@
+// Package wtshard exercises walltime inside the sharded-engine package
+// path: window boundaries and lookahead horizons are simulation time,
+// never the host clock. The one legitimate wall-clock use — stall
+// telemetry around the commit barrier — must carry a suppression.
+package wtshard
+
+import "time"
+
+func hit() time.Time {
+	return time.Now() // want `time.Now in a simulation package`
+}
+
+func suppressed() time.Duration {
+	start := time.Now() //simlint:walltime stall telemetry only, never simulation state
+	return time.Since(start)
+}
+
+func clean(window, lookahead float64) float64 {
+	return window + lookahead
+}

@@ -21,6 +21,7 @@ package ras
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"ecgrid/internal/geom"
@@ -90,6 +91,20 @@ type Bus struct {
 	// returning true suppresses that wakeup (fault injection: paging
 	// loss). Dropped wakeups are counted in PagesDropped.
 	DropHook func(target hostid.ID) bool
+
+	// Scan, when non-nil, replaces PageGrid's allocate-sort-sweep over
+	// every attached switch with a caller-supplied scanner (the sharded
+	// engine's worker pool): Scan must call probe for each candidate
+	// host — in any order, concurrently if it likes, since the probe is
+	// a pure read of position, cell and range — and return the IDs that
+	// passed, in ascending order. [xlo, xhi] bounds the x-coordinates a
+	// passing host can have: the probe provably rejects any host whose
+	// position x lies outside it, so the scanner may skip hosts it can
+	// prove are elsewhere. The
+	// stateful tail (sleep check, drop draw, wake) stays here, serial
+	// and in ID order, so the hosts woken and the randomness consumed
+	// are byte-identical to the reference sweep.
+	Scan func(probe func(target hostid.ID) bool, xlo, xhi float64) []hostid.ID
 }
 
 // DefaultLatency is the paging delay: the time for the RAS to receive a
@@ -127,6 +142,22 @@ func (b *Bus) Detach(id hostid.ID) {
 	delete(b.switches, id)
 }
 
+// wakeAll applies the stateful tail of a grid page to the hosts a Scan
+// admitted: sleep check, paging-loss draw, wakeup — serial, in the
+// given (ascending) order, matching the reference sweep draw for draw.
+func (b *Bus) wakeAll(ids []hostid.ID) {
+	for _, id := range ids {
+		sw := b.switches[id]
+		if sw.Asleep() {
+			if b.DropHook != nil && b.DropHook(id) {
+				b.PagesDropped++
+				continue
+			}
+			sw.Wake(PagedGrid)
+		}
+	}
+}
+
 // Page transmits the paging sequence of the target host from the given
 // location. If the target is within paging range and asleep when the
 // signal arrives, it wakes with reason PagedDirectly.
@@ -156,6 +187,37 @@ func (b *Bus) Page(from geom.Point, target hostid.ID) {
 func (b *Bus) PageGrid(from geom.Point, c grid.Coord) {
 	b.GridPagesSent++
 	b.engine.Schedule(b.latency, func() {
+		if b.Scan != nil {
+			// Probe/apply split: the probe is a pure function of the
+			// delivery instant (position, cell membership, range), so the
+			// scanner may evaluate it in parallel — and, given the paged
+			// cell's x-span, skip hosts provably outside it; the stateful
+			// apply below runs serial in ascending ID order, which is
+			// exactly the order the reference sweep visits, wakes, and
+			// draws in.
+			// The admissible x-span is the paged cell's bounds — except
+			// that CellOf clamps out-of-area positions into the edge
+			// cells, so the outermost columns admit any overhang on
+			// their open side.
+			span := b.partition.Bounds(c)
+			xlo, xhi := span.Min.X, span.Max.X
+			if c.X == 0 {
+				xlo = math.Inf(-1)
+			}
+			if c.X == b.partition.Cols()-1 {
+				xhi = math.Inf(1)
+			}
+			ids := b.Scan(func(id hostid.ID) bool {
+				sw, ok := b.switches[id]
+				if !ok {
+					return false
+				}
+				pos := sw.Position()
+				return b.partition.CellOf(pos) == c && from.Dist(pos) <= b.rangeM
+			}, xlo, xhi)
+			b.wakeAll(ids)
+			return
+		}
 		// Wake in ID order so runs are reproducible.
 		ids := make([]hostid.ID, 0, len(b.switches))
 		for id := range b.switches {

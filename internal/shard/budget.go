@@ -1,0 +1,61 @@
+package shard
+
+import "runtime"
+
+// The process-wide worker budget. Batch-level parallelism (one token
+// per concurrently executing run, internal/batch) and intra-run shard
+// pools (one token per helper goroutine) draw from the same pool of
+// GOMAXPROCS tokens, so composing `sweep -parallel` with `-shards`
+// degrades gracefully instead of oversubscribing the machine: when the
+// batch layer has claimed every slot, pools simply get zero helpers and
+// run their phases serially. Helper counts never change results — the
+// pool partitions work by the plan, not by worker — so the negotiation
+// is free to be best-effort.
+var budget = newBudget(runtime.GOMAXPROCS(0))
+
+func newBudget(n int) chan struct{} {
+	c := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		c <- struct{}{}
+	}
+	return c
+}
+
+// AcquireRun blocks until a run slot is free and claims it. Every
+// concurrently executing simulation should hold exactly one for its
+// duration; internal/batch wraps each job in AcquireRun/ReleaseRun.
+func AcquireRun() { <-budget }
+
+// ReleaseRun returns a run slot claimed by AcquireRun.
+func ReleaseRun() { release(1) }
+
+// AcquireWorkers claims up to want helper slots without blocking and
+// returns how many it got — possibly zero, which a caller must treat as
+// "run serial", never as an error.
+func AcquireWorkers(want int) int {
+	got := 0
+	for got < want {
+		select {
+		case <-budget:
+			got++
+		default:
+			return got
+		}
+	}
+	return got
+}
+
+// ReleaseWorkers returns n helper slots claimed by AcquireWorkers.
+func ReleaseWorkers(n int) { release(n) }
+
+func release(n int) {
+	for ; n > 0; n-- {
+		select {
+		case budget <- struct{}{}:
+		default:
+			// More releases than acquisitions: a caller bug that would
+			// otherwise silently inflate the budget forever.
+			panic("shard: worker budget released more slots than were acquired")
+		}
+	}
+}

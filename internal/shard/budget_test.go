@@ -1,0 +1,49 @@
+package shard
+
+import (
+	"runtime"
+	"testing"
+)
+
+// The budget tests drain and refill the package-level semaphore, so
+// they must not run concurrently with each other or with pool tests
+// that acquire workers — the package's tests are sequential (no
+// t.Parallel) precisely for this.
+
+func TestBudgetWorkersAreBoundedByGOMAXPROCS(t *testing.T) {
+	max := runtime.GOMAXPROCS(0)
+	got := AcquireWorkers(max * 10)
+	if got > max {
+		t.Fatalf("acquired %d workers with GOMAXPROCS=%d", got, max)
+	}
+	if got == 0 {
+		t.Fatalf("budget empty at test start: a previous user leaked slots")
+	}
+	// Budget exhausted: further worker requests must degrade to zero,
+	// not block.
+	if extra := AcquireWorkers(1); extra != 0 {
+		ReleaseWorkers(extra)
+		t.Errorf("acquired %d workers past exhaustion", extra)
+	}
+	ReleaseWorkers(got)
+}
+
+func TestBudgetRunAndWorkersShareOnePool(t *testing.T) {
+	max := runtime.GOMAXPROCS(0)
+	AcquireRun() // one run slot held…
+	got := AcquireWorkers(max * 10)
+	if got != max-1 {
+		t.Errorf("run slot held: got %d workers, want %d", got, max-1)
+	}
+	ReleaseWorkers(got)
+	ReleaseRun()
+}
+
+func TestBudgetOverReleasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release did not panic")
+		}
+	}()
+	ReleaseWorkers(1) // nothing acquired: the pool is already full
+}

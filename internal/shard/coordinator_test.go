@@ -1,0 +1,189 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"ecgrid/internal/radio"
+	"ecgrid/internal/ras"
+	"ecgrid/internal/sim"
+)
+
+// scheduleWorkload queues a fixed event mix that exercises the window
+// seams: events exactly on boundaries, FIFO ties, and events that
+// schedule follow-ups across and onto boundaries.
+func scheduleWorkload(eng *sim.Engine, log *[]string) {
+	rec := func(name string) func() {
+		return func() { *log = append(*log, fmt.Sprintf("%s@%.3f", name, eng.Now())) }
+	}
+	eng.At(0.5, rec("a"))
+	eng.At(1.0, rec("b1")) // exactly on the first window boundary
+	eng.At(1.0, func() { rec("b2")(); eng.Schedule(0.25, rec("b2+")) })
+	eng.At(0.9, func() { rec("c")(); eng.Schedule(0.3, rec("c+")) }) // follow-up crosses the boundary
+	eng.At(2.0, func() { rec("d")(); eng.At(2.0, rec("d+")) })       // same-instant reschedule on a boundary
+	eng.At(3.7, rec("e"))
+}
+
+func emptyCoordinator(eng *sim.Engine, window float64) *Coordinator {
+	part := testPartition(1000, 100)
+	pool := NewPool(NewPlan(part, 4, nil, nil), nil, 0)
+	return NewCoordinator(eng, pool, window, 0.01, nil)
+}
+
+func TestCoordinatorMatchesSerialEngine(t *testing.T) {
+	var want []string
+	serial := sim.NewEngine()
+	scheduleWorkload(serial, &want)
+	serial.Run(4)
+
+	for _, window := range []float64{1.0, 0.3, 4.0, 10.0} {
+		var got []string
+		eng := sim.NewEngine()
+		scheduleWorkload(eng, &got)
+		c := emptyCoordinator(eng, window)
+		if end := c.Run(4); end != 4 {
+			t.Fatalf("window=%g: final clock %g, want 4", window, end)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("window=%g: event order diverged\n got %v\nwant %v", window, got, want)
+		}
+	}
+}
+
+func TestCoordinatorHonorsStop(t *testing.T) {
+	var fired []string
+	eng := sim.NewEngine()
+	eng.At(0.5, func() { fired = append(fired, "first") })
+	eng.At(1.5, func() { fired = append(fired, "stopper"); eng.Stop() })
+	eng.At(2.5, func() { fired = append(fired, "never") })
+	c := emptyCoordinator(eng, 1.0)
+	c.Run(10)
+	if fmt.Sprint(fired) != "[first stopper]" {
+		t.Fatalf("fired %v", fired)
+	}
+	if c.Stats().Windows != 2 {
+		t.Errorf("windows = %d, want 2 (loop must end at the Stop)", c.Stats().Windows)
+	}
+}
+
+// TestCoordinatorHandoffsAreConservative is the lookahead property on a
+// live run: at the instant a host is handed between shards, both the
+// old and the new owner must already have materialized mobility beyond
+// the handoff time plus the lookahead — so no in-flight event can ever
+// touch a host past its materialized horizon, whichever side of the
+// handoff it lands on.
+func TestCoordinatorHandoffsAreConservative(t *testing.T) {
+	part := testPartition(1000, 100)
+	starts := uniformStarts(40, 1000)
+	fakes, nodes := makeFakes(starts)
+	eng := sim.NewEngine()
+	for _, f := range fakes {
+		f.vx = 37 // crosses several 100 m columns over 10 s
+		f.clock = eng.Now
+	}
+	plan := NewPlan(part, 4, starts, nil)
+	pool := NewPool(plan, nodes, 2)
+	defer pool.Close()
+	const lookahead = 0.0054
+	c := NewCoordinator(eng, pool, 1.0, lookahead, sim.NewRNG(7))
+
+	handoffs := 0
+	plan.OnHandoff = func(host, from, to int) {
+		handoffs++
+		now := eng.Now()
+		for _, s := range []int{from, to} {
+			if got := pool.AdvancedTo(s); got < now+lookahead {
+				t.Errorf("handoff of host %d at t=%g: shard %d advanced to %g < %g",
+					host, now, s, got, now+lookahead)
+			}
+		}
+	}
+	// Keep the engine busy so every window commits something.
+	var tick func()
+	tick = func() { eng.Schedule(0.125, tick) }
+	eng.At(0, tick)
+	c.Run(10)
+
+	if handoffs == 0 {
+		t.Fatal("no handoffs: hosts moving 370 m never changed strips?")
+	}
+	st := c.Stats()
+	if st.BoundaryEvents != uint64(handoffs) {
+		t.Errorf("BoundaryEvents = %d, observed %d handoffs", st.BoundaryEvents, handoffs)
+	}
+	if st.Windows != 10 {
+		t.Errorf("Windows = %d, want 10", st.Windows)
+	}
+	if st.Audited == 0 {
+		t.Error("audit never ran despite an RNG being supplied")
+	}
+	if st.Shards != 4 || st.Workers != 3 {
+		t.Errorf("Shards/Workers = %d/%d, want 4/3", st.Shards, st.Workers)
+	}
+}
+
+// TestLookaheadForDominatesInFlight is the conservativeness property of
+// the margin itself: for any frame no larger than the declared maximum,
+// the full pessimal pipeline — medium-access backoff, serialization,
+// propagation, paging — fits inside the lookahead.
+func TestLookaheadForDominatesInFlight(t *testing.T) {
+	rc := radio.DefaultConfig()
+	prop := func(maxExtra, under uint16) bool {
+		maxBytes := 64 + int(maxExtra)%4096
+		frame := int(under) % (maxBytes + 1) // any frame ≤ the declared max
+		la := LookaheadFor(rc, maxBytes, ras.DefaultLatency)
+		inFlight := rc.DIFS + float64(rc.MaxBackoffSlots)*rc.SlotTime +
+			rc.AirTime(frame) + rc.PropDelay + ras.DefaultLatency
+		return inFlight <= la
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewCoordinatorRejectsBadTimes(t *testing.T) {
+	eng := sim.NewEngine()
+	part := testPartition(1000, 100)
+	pool := NewPool(NewPlan(part, 2, nil, nil), nil, 0)
+	for name, fn := range map[string]func(){
+		"zero window":        func() { NewCoordinator(eng, pool, 0, 0.01, nil) },
+		"negative lookahead": func() { NewCoordinator(eng, pool, 1, -0.01, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestAuditIsFreeOfSideEffects: two identical runs, one with the audit
+// RNG and one without, must drive the engine identically — the audit's
+// draws come from dedicated streams and feed nothing.
+func TestAuditIsFreeOfSideEffects(t *testing.T) {
+	run := func(rng *sim.RNG) []string {
+		part := testPartition(1000, 100)
+		starts := uniformStarts(12, 1000)
+		fakes, nodes := makeFakes(starts)
+		eng := sim.NewEngine()
+		for _, f := range fakes {
+			f.vx = 25
+			f.clock = eng.Now
+		}
+		pool := NewPool(NewPlan(part, 3, starts, nil), nodes, 0)
+		defer pool.Close()
+		c := NewCoordinator(eng, pool, 1.0, 0.005, rng)
+		var log []string
+		scheduleWorkload(eng, &log)
+		c.Run(5)
+		return log
+	}
+	with, without := run(sim.NewRNG(3)), run(nil)
+	if fmt.Sprint(with) != fmt.Sprint(without) {
+		t.Fatalf("audit perturbed the run:\n with %v\nwithout %v", with, without)
+	}
+}

@@ -1,0 +1,213 @@
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ecgrid/internal/geom"
+	"ecgrid/internal/hostid"
+)
+
+// Node is the per-host surface the pool needs: identity, liveness, the
+// memoized current position (for rebalancing), the ability to
+// materialize mobility history ahead of time, and a containment proof
+// for the scan-pruning pin test. internal/node's Host implements it.
+//
+// StaysWithin must be exact-or-false: answer true only when the host
+// provably cannot leave bounds anywhere in [from, until]. A false
+// negative costs a redundant probe; a false positive would prune a host
+// a reference scan admits and break byte-identity.
+type Node interface {
+	ID() hostid.ID
+	Dead() bool
+	Position() geom.Point
+	AdvanceMobility(t float64)
+	StaysWithin(from, until float64, bounds geom.Rect) bool
+}
+
+// Pool runs the parallel phases of a sharded run: the per-window
+// mobility advance and the per-event paging-scan probe. It owns a fixed
+// set of helper goroutines; the caller's goroutine always participates
+// too, so a pool with zero helpers degrades to a plain serial loop.
+//
+// Every parallel phase partitions its work by the plan's ownership
+// lists — worker w touches only hosts owned by the shards it picks up —
+// so results are a pure function of the plan and never of how many
+// helpers happen to be available.
+type Pool struct {
+	plan  *Plan
+	nodes []Node
+	ids   []hostid.ID // nodes[i].ID(), cached to keep hot loops monomorphic
+
+	keep    []bool         // Scan scratch: per-host probe verdicts
+	out     []hostid.ID    // Scan scratch: the returned ID slice
+	pinned  []bool         // per-host pin verdicts from the last Advance
+	jobs    chan poolJob   // nil when the pool has no helpers
+	helpers int            // goroutines beyond the caller's own
+	wg      sync.WaitGroup // helper lifetime
+
+	// advancedTo[s] is the horizon shard s's mobility has been
+	// materialized to — written only by the worker running shard s's
+	// advance, read between phases by the audit.
+	advancedTo []float64
+
+	stallNS atomic.Int64
+}
+
+type poolJob struct {
+	fn func(s int)
+	s  int
+	wg *sync.WaitGroup
+}
+
+// NewPool builds a pool over the plan's shards with the given number of
+// helper goroutines (clamped to shards-1: the caller works too, and
+// more workers than shards would idle). Close releases the helpers.
+func NewPool(plan *Plan, nodes []Node, helpers int) *Pool {
+	p := &Pool{
+		plan:       plan,
+		nodes:      nodes,
+		ids:        make([]hostid.ID, len(nodes)),
+		keep:       make([]bool, len(nodes)),
+		pinned:     make([]bool, len(nodes)),
+		advancedTo: make([]float64, plan.k),
+	}
+	for i, n := range nodes {
+		p.ids[i] = n.ID()
+	}
+	if helpers > plan.k-1 {
+		helpers = plan.k - 1
+	}
+	if helpers < 0 {
+		helpers = 0
+	}
+	p.helpers = helpers
+	if helpers > 0 {
+		p.jobs = make(chan poolJob, plan.k)
+		p.wg.Add(helpers)
+		for w := 0; w < helpers; w++ {
+			go func() {
+				defer p.wg.Done()
+				for j := range p.jobs {
+					j.fn(j.s)
+					j.wg.Done()
+				}
+			}()
+		}
+	}
+	return p
+}
+
+// Close shuts the helper goroutines down. The pool must be idle.
+func (p *Pool) Close() {
+	if p.jobs != nil {
+		close(p.jobs)
+		p.wg.Wait()
+		p.jobs = nil
+	}
+}
+
+// run executes fn(s) for every shard, distributing shards across the
+// helpers; the caller's goroutine handles shard 0 (and anything the
+// helpers have not claimed by the time it finishes). Time the caller
+// then spends blocked on the stragglers is the run's stall time.
+func (p *Pool) run(fn func(s int)) {
+	if p.jobs == nil {
+		for s := 0; s < p.plan.k; s++ {
+			fn(s)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(p.plan.k)
+	for s := 1; s < p.plan.k; s++ {
+		p.jobs <- poolJob{fn, s, &wg}
+	}
+	fn(0)
+	wg.Done()
+	start := time.Now() //simlint:walltime — stall telemetry only, never simulation state
+	wg.Wait()
+	p.stallNS.Add(time.Since(start).Nanoseconds()) //simlint:walltime — stall telemetry only
+}
+
+// Advance materializes every live host's mobility history over the
+// window [from, to], each shard's hosts on that shard's worker. Dead
+// hosts are skipped: their radios are detached, so nothing will read
+// their position again.
+//
+// While it is there, each worker also classifies its hosts for Scan's
+// strip pruning: a host whose trajectory provably stays inside the
+// shard's pin rectangle for the whole window is pinned; everything else
+// (dead, freshly handed in near a seam, or fast enough to cross) is a
+// straggler that every Scan still probes. The pin test runs after the
+// mobility advance on purpose — it then walks legs that already exist
+// and consumes no random draws.
+func (p *Pool) Advance(from, to float64) {
+	p.run(func(s int) {
+		rect := p.plan.StripRect(s)
+		for _, i := range p.plan.lists[s] {
+			n := p.nodes[i]
+			if n.Dead() {
+				p.pinned[i] = false
+				continue
+			}
+			n.AdvanceMobility(to)
+			p.pinned[i] = n.StaysWithin(from, to, rect)
+		}
+		p.advancedTo[s] = to
+	})
+}
+
+// Scan evaluates probe against every host — each shard's worker probes
+// the hosts it owns, so a pure probe (position, cell, range) runs
+// race-free in parallel — and returns the IDs that passed, ascending.
+// Host index equals host ID here (the runner numbers hosts densely),
+// which is what makes the index-order sweep an ID-order result. The
+// returned slice is reused by the next Scan.
+//
+// [xlo, xhi] is the x-span the probe can possibly admit (the paged
+// cell's bounds): a shard whose pin rectangle misses the span skips its
+// pinned hosts — they are provably inside the rectangle at the probe
+// instant, so the reference probe would reject them — and probes only
+// its stragglers. Callers that cannot bound the probe pass an infinite
+// span and every host is probed.
+func (p *Pool) Scan(probe func(target hostid.ID) bool, xlo, xhi float64) []hostid.ID {
+	p.run(func(s int) {
+		if r := p.plan.StripRect(s); r.Max.X < xlo || r.Min.X > xhi {
+			for _, i := range p.plan.lists[s] {
+				if p.pinned[i] {
+					p.keep[i] = false // scratch reuse: stale verdicts must not leak
+				} else {
+					p.keep[i] = probe(p.ids[i])
+				}
+			}
+			return
+		}
+		for _, i := range p.plan.lists[s] {
+			p.keep[i] = probe(p.ids[i])
+		}
+	})
+	out := p.out[:0]
+	for i, pass := range p.keep {
+		if pass {
+			out = append(out, p.ids[i])
+		}
+	}
+	p.out = out
+	return out
+}
+
+// Rebalance re-homes ownership to the hosts' current positions and
+// returns the number of handoffs (boundary events).
+func (p *Pool) Rebalance() int {
+	return p.plan.Rebalance(func(i int) geom.Point { return p.nodes[i].Position() })
+}
+
+// StallNS returns the cumulative time the commit goroutine has spent
+// blocked at phase barriers waiting for straggler workers.
+func (p *Pool) StallNS() int64 { return p.stallNS.Load() }
+
+// AdvancedTo returns the mobility horizon of shard s, for the audit and
+// the conservativeness tests.
+func (p *Pool) AdvancedTo(s int) float64 { return p.advancedTo[s] }

@@ -1,0 +1,177 @@
+package shard
+
+import (
+	"testing"
+
+	"ecgrid/internal/geom"
+	"ecgrid/internal/grid"
+)
+
+func testPartition(area float64, cell float64) *grid.Partition {
+	return grid.NewPartition(geom.NewRect(geom.Point{}, geom.Point{X: area, Y: area}), cell)
+}
+
+// uniformStarts spreads n hosts across the area deterministically.
+func uniformStarts(n int, area float64) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{
+			X: (float64(i) + 0.5) * area / float64(n),
+			Y: area / 2,
+		}
+	}
+	return pts
+}
+
+func TestPlanPartitionsEveryHostOnce(t *testing.T) {
+	part := testPartition(1000, 100)
+	starts := uniformStarts(97, 1000)
+	for _, k := range []int{1, 2, 4, 7, 10} {
+		p := NewPlan(part, k, starts, nil)
+		seen := make(map[int]int)
+		for s := 0; s < p.K(); s++ {
+			prev := -1
+			for _, i := range p.List(s) {
+				if i <= prev {
+					t.Fatalf("k=%d shard %d list not ascending: %v", k, s, p.List(s))
+				}
+				prev = i
+				seen[i]++
+				if p.Owner(i) != s {
+					t.Fatalf("k=%d host %d on list %d but owner %d", k, i, s, p.Owner(i))
+				}
+			}
+		}
+		if len(seen) != len(starts) {
+			t.Fatalf("k=%d: %d hosts owned, want %d", k, len(seen), len(starts))
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("k=%d host %d owned %d times", k, i, c)
+			}
+		}
+	}
+}
+
+func TestPlanBalancesByHostCount(t *testing.T) {
+	part := testPartition(1000, 100)
+	// All hosts crowd the left edge: a naive equal-column split would
+	// put everyone in shard 0.
+	starts := make([]geom.Point, 100)
+	for i := range starts {
+		starts[i] = geom.Point{X: float64(i%2) * 90, Y: 500} // columns 0 only
+	}
+	// Mix in a spread population so balancing has something to do.
+	for i := 50; i < 100; i++ {
+		starts[i] = geom.Point{X: (float64(i) / 100) * 1000, Y: 500}
+	}
+	p := NewPlan(part, 4, starts, nil)
+	for s := 0; s < 4; s++ {
+		if n := len(p.List(s)); n == 0 {
+			t.Errorf("shard %d owns no hosts: balancing failed", s)
+		}
+	}
+}
+
+func TestPlanStripsAreContiguous(t *testing.T) {
+	part := testPartition(1000, 100)
+	p := NewPlan(part, 4, uniformStarts(40, 1000), nil)
+	prev := 0
+	for col, s := range p.colShard {
+		if s < prev || s > prev+1 {
+			t.Fatalf("column %d jumps from shard %d to %d", col, prev, s)
+		}
+		prev = s
+	}
+	if prev != 3 {
+		t.Fatalf("last column on shard %d, want 3", prev)
+	}
+}
+
+func TestPlanPinsGroups(t *testing.T) {
+	part := testPartition(1000, 100)
+	// Two groups of 3, spread across the whole width — members would
+	// land on different strips if not pinned.
+	starts := []geom.Point{
+		{X: 50, Y: 0}, {X: 450, Y: 0}, {X: 950, Y: 0},
+		{X: 150, Y: 0}, {X: 550, Y: 0}, {X: 850, Y: 0},
+	}
+	groups := []int{0, 0, 0, 1, 1, 1}
+	p := NewPlan(part, 4, starts, groups)
+	for g := 0; g < 2; g++ {
+		lead := p.Owner(g * 3)
+		for m := 0; m < 3; m++ {
+			if got := p.Owner(g*3 + m); got != lead {
+				t.Errorf("group %d split: member %d on shard %d, leader on %d", g, m, got, lead)
+			}
+		}
+	}
+}
+
+func TestPlanRebalanceHandsOffAndStaysConsistent(t *testing.T) {
+	part := testPartition(1000, 100)
+	starts := uniformStarts(10, 1000)
+	p := NewPlan(part, 2, starts, nil)
+	// Everyone walks to the far right: all of shard 0's hosts must hand
+	// over to the last strip's owner.
+	var hops []int
+	p.OnHandoff = func(host, from, to int) {
+		if from == to {
+			t.Errorf("self-handoff of host %d", host)
+		}
+		hops = append(hops, host)
+	}
+	moved := p.Rebalance(func(i int) geom.Point { return geom.Point{X: 999, Y: 500} })
+	if moved == 0 || moved != len(hops) {
+		t.Fatalf("moved %d, observed %d handoffs", moved, len(hops))
+	}
+	last := p.ShardOf(geom.Point{X: 999, Y: 500})
+	for i := range starts {
+		if p.Owner(i) != last {
+			t.Errorf("host %d owner %d after everyone moved right, want %d", i, p.Owner(i), last)
+		}
+	}
+	if len(p.List(last)) != len(starts) {
+		t.Errorf("list of shard %d has %d hosts, want all %d", last, len(p.List(last)), len(starts))
+	}
+	// A second rebalance from the same positions is a no-op.
+	if again := p.Rebalance(func(i int) geom.Point { return geom.Point{X: 999, Y: 500} }); again != 0 {
+		t.Errorf("stable positions produced %d handoffs", again)
+	}
+}
+
+func TestPlanRebalanceMovesGroupsWhole(t *testing.T) {
+	part := testPartition(1000, 100)
+	starts := []geom.Point{{X: 100, Y: 0}, {X: 120, Y: 0}, {X: 140, Y: 0}, {X: 800, Y: 0}}
+	groups := []int{7, 7, 7, -1}
+	p := NewPlan(part, 2, starts, groups)
+	// The group's leader crosses to the right half; followers' own
+	// positions say "stay" but they must move with the leader.
+	pos := []geom.Point{{X: 900, Y: 0}, {X: 120, Y: 0}, {X: 140, Y: 0}, {X: 800, Y: 0}}
+	p.Rebalance(func(i int) geom.Point { return pos[i] })
+	want := p.ShardOf(geom.Point{X: 900, Y: 0})
+	for m := 0; m < 3; m++ {
+		if p.Owner(m) != want {
+			t.Errorf("group member %d on shard %d after leader moved, want %d", m, p.Owner(m), want)
+		}
+	}
+}
+
+func TestPlanPanicsOnBadArguments(t *testing.T) {
+	part := testPartition(1000, 100)
+	starts := uniformStarts(5, 1000)
+	for name, fn := range map[string]func(){
+		"zero shards":     func() { NewPlan(part, 0, starts, nil) },
+		"too many shards": func() { NewPlan(part, 11, starts, nil) },
+		"groups mismatch": func() { NewPlan(part, 2, starts, []int{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

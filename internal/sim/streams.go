@@ -55,6 +55,15 @@ const (
 	// StreamScengenTraffic draws generated traffic: flow endpoints,
 	// start phases, and bursty on/off period lengths.
 	StreamScengenTraffic = "scengen.traffic"
+	// StreamShardAudit is the per-shard sampling-audit stream family of
+	// the parallel coordinator (internal/shard): each synchronization
+	// window, shard s draws from fmt.Sprintf(StreamShardAudit, s) to
+	// pick which owned host gets its ownership and safe-horizon
+	// invariants spot-checked. The draws feed no simulation decision —
+	// results are byte-identical with auditing on or off — but the
+	// names are registered here so the streams can never collide with
+	// (and perturb) a result-bearing sequence.
+	StreamShardAudit = "shard.audit.%d"
 )
 
 // StreamRegistry enumerates every registered stream name (format
@@ -78,4 +87,5 @@ var StreamRegistry = []string{
 	StreamScengenManhattan,
 	StreamScengenGroup,
 	StreamScengenTraffic,
+	StreamShardAudit,
 }

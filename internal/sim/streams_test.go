@@ -30,6 +30,7 @@ func TestStreamFamiliesAreFormats(t *testing.T) {
 		StreamMobility:         true,
 		StreamScengenManhattan: true,
 		StreamScengenGroup:     true,
+		StreamShardAudit:       true,
 	}
 	for _, name := range StreamRegistry {
 		if strings.Contains(name, "%") != families[name] {
