@@ -1,17 +1,21 @@
-// Command benchgate fails CI when a benchmark's allocations regress
-// past the recorded budget. It reads `go test -bench -benchmem` output
-// on stdin, extracts one benchmark's allocs/op, and compares it
-// against the "after" number recorded in a BENCH_*.json ledger, with a
-// relative slack for machine noise.
+// Command benchgate fails CI when a benchmark regresses past its
+// recorded budget. It reads `go test -bench -benchmem` output on
+// stdin, extracts one benchmark's allocs/op and ns/op, and compares
+// them against the "after" numbers recorded in a BENCH_*.json ledger,
+// each with a relative slack for machine noise.
 //
 // Usage (the CI bench job):
 //
 //	go test -bench BenchmarkFig8a -benchtime 1x -benchmem -run '^$' . |
 //	    go run ./cmd/benchgate -bench BenchmarkFig8a -budget BENCH_5.json
 //
-// allocs/op is the gated metric on purpose: unlike ns/op it is exactly
+// allocs/op is the primary gate: unlike ns/op it is exactly
 // reproducible across runners, so a 10% slack catches a real
 // regression (a lost pool, a new per-event closure) without flaking.
+// ns/op is gated too, but with a wide guard (25% by default) sized for
+// shared-runner noise: it only trips on a wholesale slowdown — a dead
+// cache, a lost fast path — not on jitter. A ledger entry without an
+// ns_op budget skips the time gate.
 package main
 
 import (
@@ -24,9 +28,10 @@ import (
 
 func main() {
 	var (
-		bench  = flag.String("bench", "BenchmarkFig8a", "benchmark name to gate")
-		budget = flag.String("budget", "BENCH_5.json", "benchmark ledger with the allocs/op budget")
-		slack  = flag.Float64("slack", 0.10, "allowed relative regression over the budget")
+		bench   = flag.String("bench", "BenchmarkFig8a", "benchmark name to gate")
+		budget  = flag.String("budget", "BENCH_5.json", "benchmark ledger with the allocs/op and ns/op budgets")
+		slack   = flag.Float64("slack", 0.10, "allowed relative regression over the allocs/op budget")
+		nsSlack = flag.Float64("ns-slack", 0.25, "allowed relative regression over the ns/op budget")
 	)
 	flag.Parse()
 
@@ -46,41 +51,65 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(2)
 	}
-	limit := int64(float64(want) * (1 + *slack))
+	limit := int64(float64(want.AllocsOp) * (1 + *slack))
 	if got > limit {
 		fmt.Fprintf(os.Stderr, "benchgate: %s allocated %d allocs/op, budget %d (+%.0f%% slack = %d)\n",
-			*bench, got, want, *slack*100, limit)
+			*bench, got, want.AllocsOp, *slack*100, limit)
 		os.Exit(1)
 	}
 	fmt.Printf("benchgate: %s at %d allocs/op, within budget %d (+%.0f%% slack = %d)\n",
-		*bench, got, want, *slack*100, limit)
+		*bench, got, want.AllocsOp, *slack*100, limit)
+
+	if want.NsOp <= 0 {
+		return
+	}
+	gotNs, err := parseNsOp(string(input), *bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	nsLimit := int64(float64(want.NsOp) * (1 + *nsSlack))
+	if gotNs > nsLimit {
+		fmt.Fprintf(os.Stderr, "benchgate: %s took %d ns/op, budget %d (+%.0f%% guard = %d)\n",
+			*bench, gotNs, want.NsOp, *nsSlack*100, nsLimit)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %s at %d ns/op, within budget %d (+%.0f%% guard = %d)\n",
+		*bench, gotNs, want.NsOp, *nsSlack*100, nsLimit)
+}
+
+// budgets is the "after" slice of one ledger entry that the gate needs.
+type budgets struct {
+	NsOp     int64 `json:"ns_op"`
+	AllocsOp int64 `json:"allocs_op"`
 }
 
 // ledger mirrors the slice of BENCH_*.json that the gate needs.
 type ledger struct {
 	Benchmarks map[string]struct {
-		After struct {
-			AllocsOp int64 `json:"allocs_op"`
-		} `json:"after"`
+		After budgets `json:"after"`
 	} `json:"benchmarks"`
 }
 
-// loadBudget returns the recorded "after" allocs/op for bench.
-func loadBudget(path, bench string) (int64, error) {
+// loadBudget returns the recorded "after" budgets for bench. An
+// allocs/op budget is required; ns/op is optional (zero skips the time
+// gate — some ledger rows record wall-clock of whole CLI runs, not
+// go-bench output).
+func loadBudget(path, bench string) (budgets, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return 0, err
+		return budgets{}, err
 	}
 	var l ledger
 	if err := json.Unmarshal(data, &l); err != nil {
-		return 0, fmt.Errorf("%s: %w", path, err)
+		return budgets{}, fmt.Errorf("%s: %w", path, err)
 	}
 	b, ok := l.Benchmarks[bench]
 	if !ok {
-		return 0, fmt.Errorf("%s: no benchmark %q in ledger", path, bench)
+		return budgets{}, fmt.Errorf("%s: no benchmark %q in ledger", path, bench)
 	}
 	if b.After.AllocsOp <= 0 {
-		return 0, fmt.Errorf("%s: benchmark %q has no allocs_op budget", path, bench)
+		return budgets{}, fmt.Errorf("%s: benchmark %q has no allocs_op budget", path, bench)
 	}
-	return b.After.AllocsOp, nil
+	return b.After, nil
 }

@@ -6,15 +6,16 @@ import (
 	"strings"
 )
 
-// parseAllocs extracts the allocs/op value for the named benchmark
-// from `go test -bench -benchmem` output. Benchmark lines look like
+// parseMetric extracts one per-op metric column ("allocs/op", "ns/op",
+// "B/op") for the named benchmark from `go test -bench -benchmem`
+// output. Benchmark lines look like
 //
 //	BenchmarkFig8a-8   1   3569090224 ns/op   277689960 B/op   5829015 allocs/op
 //
 // where the "-8" suffix is GOMAXPROCS; the name is matched exactly up
 // to that suffix. A missing benchmark is an error so the gate also
 // catches the benchmark itself rotting away.
-func parseAllocs(output, bench string) (int64, error) {
+func parseMetric(output, bench, unit string) (int64, error) {
 	for _, line := range strings.Split(output, "\n") {
 		fields := strings.Fields(line)
 		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
@@ -25,16 +26,26 @@ func parseAllocs(output, bench string) (int64, error) {
 			continue
 		}
 		for i := 2; i+1 < len(fields); i += 2 {
-			if fields[i+1] != "allocs/op" {
+			if fields[i+1] != unit {
 				continue
 			}
 			v, err := strconv.ParseInt(fields[i], 10, 64)
 			if err != nil {
-				return 0, fmt.Errorf("bad allocs/op on %q: %w", line, err)
+				return 0, fmt.Errorf("bad %s on %q: %w", unit, line, err)
 			}
 			return v, nil
 		}
-		return 0, fmt.Errorf("benchmark %s has no allocs/op column (run go test with -benchmem)", bench)
+		return 0, fmt.Errorf("benchmark %s has no %s column (run go test with -benchmem)", bench, unit)
 	}
 	return 0, fmt.Errorf("benchmark %s not found in input", bench)
+}
+
+// parseAllocs extracts the allocs/op value for the named benchmark.
+func parseAllocs(output, bench string) (int64, error) {
+	return parseMetric(output, bench, "allocs/op")
+}
+
+// parseNsOp extracts the ns/op value for the named benchmark.
+func parseNsOp(output, bench string) (int64, error) {
+	return parseMetric(output, bench, "ns/op")
 }

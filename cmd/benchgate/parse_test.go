@@ -30,6 +30,16 @@ func TestParseAllocs(t *testing.T) {
 	}
 }
 
+func TestParseNsOp(t *testing.T) {
+	got, err := parseNsOp(sample, "BenchmarkFig8a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3569090224 {
+		t.Fatalf("ns/op = %d, want 3569090224", got)
+	}
+}
+
 func TestParseAllocsMissingBenchmark(t *testing.T) {
 	if _, err := parseAllocs(sample, "BenchmarkFig4a"); err == nil {
 		t.Fatal("missing benchmark did not error")
@@ -47,8 +57,11 @@ func TestLoadBudget(t *testing.T) {
 	if err := os.WriteFile(path, []byte(`{
 		"benchmarks": {
 			"BenchmarkFig8a": {
-				"before": {"allocs_op": 5829015},
-				"after":  {"allocs_op": 2000000}
+				"before": {"ns_op": 4000000000, "allocs_op": 5829015},
+				"after":  {"ns_op": 3000000000, "allocs_op": 2000000}
+			},
+			"BenchmarkNoTime": {
+				"after": {"allocs_op": 1000}
 			}
 		}
 	}`), 0o644); err != nil {
@@ -58,8 +71,20 @@ func TestLoadBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != 2000000 {
-		t.Fatalf("budget = %d, want 2000000", got)
+	if got.AllocsOp != 2000000 {
+		t.Fatalf("allocs budget = %d, want 2000000", got.AllocsOp)
+	}
+	if got.NsOp != 3000000000 {
+		t.Fatalf("ns budget = %d, want 3000000000", got.NsOp)
+	}
+	// A row without an ns_op budget still gates allocs (the time gate
+	// is skipped by main).
+	noTime, err := loadBudget(path, "BenchmarkNoTime")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noTime.AllocsOp != 1000 || noTime.NsOp != 0 {
+		t.Fatalf("no-time budgets = %+v, want allocs 1000, ns 0", noTime)
 	}
 	if _, err := loadBudget(path, "BenchmarkFig4a"); err == nil {
 		t.Fatal("unknown benchmark did not error")

@@ -65,6 +65,8 @@ func main() {
 			"base every run on a generated scenario: a JSON file path or a scenarios/<name> library entry")
 		shards = flag.Int("shards", 0,
 			"run every simulation on the sharded parallel engine with this many strips (byte-identical results; shares a GOMAXPROCS worker budget with -parallel)")
+		noRxCache = flag.Bool("norxcache", false,
+			"disable the receiver-plane cache in every run (uncached reference scan; byte-identical results)")
 		retries  = flag.Int("retries", 0, "extra attempts for a failed run")
 		faultArg = flag.String("faults", "",
 			"inject a fault plan into every run: a preset ("+strings.Join(faults.PresetNames(), ", ")+") or a plan JSON file")
@@ -149,6 +151,9 @@ func main() {
 			}
 			if *shards != 0 {
 				cfg.Shards = *shards
+			}
+			if *noRxCache {
+				cfg.Radio.NoRxCache = true
 			}
 			if *faultArg != "" {
 				// Resolved per job: presets scale with the job's host

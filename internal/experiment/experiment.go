@@ -100,6 +100,11 @@ type Options struct {
 	// key, so sharded and serial figure runs cache separately — exactly
 	// like HeapScheduler.
 	Shards int
+	// NoRxCache runs every figure simulation with the receiver-plane
+	// cache disabled (radio.Config.NoRxCache), the uncached reference
+	// path. Results are byte-identical either way, but the flag is part
+	// of the batch key, so cached and reference runs store separately.
+	NoRxCache bool
 }
 
 // Point is one sample of a result series.
@@ -192,6 +197,11 @@ func runJobs(jobs []batch.Job, opt Options) ([]*runner.Results, error) {
 	if opt.Shards != 0 {
 		for i := range jobs {
 			jobs[i].Cfg.Shards = opt.Shards
+		}
+	}
+	if opt.NoRxCache {
+		for i := range jobs {
+			jobs[i].Cfg.Radio.NoRxCache = true
 		}
 	}
 	bopt := batch.Options{

@@ -226,6 +226,13 @@ var SimPackages = []string{
 	"ecgrid/internal/spatial",
 	"ecgrid/internal/scengen",
 	"ecgrid/internal/shard",
+	// radio and ras joined the scope with the receiver-plane cache
+	// (DESIGN.md §16): both now keep order-sensitive caches (receiver
+	// lists, the paging bus's sorted-ID list) rebuilt from maps, where
+	// iteration order leaking into simulation state would be exactly
+	// the nondeterminism these analyzers exist to catch.
+	"ecgrid/internal/radio",
+	"ecgrid/internal/ras",
 }
 
 // FloatPackages lists the package trees where floating-point ==/!= is

@@ -1,0 +1,43 @@
+// Package mrras exercises maprange inside the paging-bus package path,
+// in scope since the bus began caching its sorted ID list: a page
+// sweep waking hosts in map order instead of the rebuilt sorted cache
+// would consume paging-loss draws in a different order every process.
+package mrras
+
+import "sort"
+
+type sw struct{ asleep bool }
+
+type bus struct {
+	switches map[int]*sw
+}
+
+func wakeSweep(b *bus) int {
+	woken := 0
+	for _, s := range b.switches { // want `range over map b.switches`
+		if s.asleep {
+			woken++
+		}
+	}
+	return woken
+}
+
+func rebuildIDs(b *bus) []int {
+	ids := make([]int, 0, len(b.switches))
+	//simlint:ordered output is sorted below
+	for id := range b.switches {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func clean(ids []int, b *bus) int {
+	woken := 0
+	for _, id := range ids {
+		if b.switches[id].asleep {
+			woken++
+		}
+	}
+	return woken
+}

@@ -1,0 +1,27 @@
+// Package rshoist checks rngstream against the hoisted-name pattern
+// the shard coordinator uses: per-shard audit stream names are minted
+// once from the registry (fmt.Sprintf over sim.StreamShardAudit) and
+// stored in a slice, so the draw site passes a variable the analyzer
+// cannot trace to the registry and must be annotated — while an
+// unannotated variable name is still flagged, keeping improvised
+// caches visible.
+package rshoist
+
+type RNG struct{}
+
+func (r *RNG) Intn(name string, n int) int { return 0 }
+
+type coordinator struct {
+	rng     *RNG
+	streams []string
+}
+
+func audit(c *coordinator, s, n int) int {
+	//simlint:stream streams[s] is fmt.Sprintf(sim.StreamShardAudit, s), hoisted at construction
+	i := c.rng.Intn(c.streams[s], n)
+	return i
+}
+
+func unannotated(c *coordinator, s, n int) int {
+	return c.rng.Intn(c.streams[s], n) // want `RNG stream name must be a sim package constant`
+}

@@ -1,0 +1,19 @@
+// Package wtradio exercises walltime inside the radio package path:
+// drift deadlines and the carrier-sense memo are keyed by simulation
+// instants, and a wall-clock read there would tie cache validity to
+// host time instead of event time.
+package wtradio
+
+import "time"
+
+func hit() time.Time {
+	return time.Now() // want `time.Now in a simulation package`
+}
+
+func suppressed() time.Time {
+	return time.Now() //simlint:walltime cache-telemetry timestamp, never reaches the engine
+}
+
+func clean(safeUntil, now float64) bool {
+	return now < safeUntil
+}

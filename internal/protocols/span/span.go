@@ -27,7 +27,7 @@ package span
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"ecgrid/internal/grid"
 	"ecgrid/internal/hostid"
@@ -302,7 +302,7 @@ func (p *Protocol) freshNeighborIDs() []hostid.ID {
 			ids = append(ids, id)
 		}
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	return ids
 }
 

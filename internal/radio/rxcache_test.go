@@ -1,0 +1,311 @@
+package radio
+
+import (
+	"math"
+	"testing"
+
+	"ecgrid/internal/energy"
+	"ecgrid/internal/geom"
+	"ecgrid/internal/hostid"
+	"ecgrid/internal/sim"
+)
+
+// pacer is a Mover- and SpeedBounded-capable endpoint moving in a
+// straight line at constant velocity; its position is a pure function
+// of engine time, like the real node layer's.
+type pacer struct {
+	id       hostid.ID
+	engine   *sim.Engine
+	battery  *energy.Battery
+	x0, y0   float64
+	vx, vy   float64
+	received []*Frame
+}
+
+func (h *pacer) ID() hostid.ID            { return h.id }
+func (h *pacer) Battery() *energy.Battery { return h.battery }
+func (h *pacer) Deliver(f *Frame)         { h.received = append(h.received, f) }
+func (h *pacer) MaxSpeedMS() float64      { return math.Hypot(h.vx, h.vy) }
+
+func (h *pacer) Position() geom.Point {
+	t := h.engine.Now()
+	return geom.Point{X: h.x0 + h.vx*t, Y: h.y0 + h.vy*t}
+}
+
+// NextExit is the conservative straight-line bound: the current
+// distance to the nearest edge of bounds over the speed.
+func (h *pacer) NextExit(t float64, bounds geom.Rect) float64 {
+	v := math.Hypot(h.vx, h.vy)
+	if v == 0 {
+		return math.Inf(1)
+	}
+	p := geom.Point{X: h.x0 + h.vx*t, Y: h.y0 + h.vy*t}
+	d := math.Min(math.Min(p.X-bounds.Min.X, bounds.Max.X-p.X),
+		math.Min(p.Y-bounds.Min.Y, bounds.Max.Y-p.Y))
+	if d < 0 {
+		return t
+	}
+	return t + d/v
+}
+
+// cacheRig is a rig over pacer hosts (indexed, speed-bounded), the
+// population the receiver cache is built for.
+type cacheRig struct {
+	engine  *sim.Engine
+	channel *Channel
+	hosts   map[hostid.ID]*pacer
+}
+
+func newCacheRig(cfg Config) *cacheRig {
+	e := sim.NewEngine()
+	return &cacheRig{
+		engine:  e,
+		channel: NewChannel(e, sim.NewRNG(1), cfg),
+		hosts:   make(map[hostid.ID]*pacer),
+	}
+}
+
+func (r *cacheRig) addPacer(id hostid.ID, x, y, vx, vy float64) *pacer {
+	h := &pacer{
+		id: id, engine: r.engine,
+		battery: energy.NewBattery(energy.PaperModel(), 1e6),
+		x0:      x, y0: y, vx: vx, vy: vy,
+	}
+	r.hosts[id] = h
+	r.channel.Attach(h)
+	return h
+}
+
+func (r *cacheRig) sendAt(t float64, from hostid.ID) {
+	r.engine.Schedule(t, func() {
+		r.channel.Send(from, &Frame{Kind: "hello", Dst: hostid.Broadcast, Bytes: 64})
+	})
+}
+
+// TestRxCacheMissOnMembershipEvents is the property the epoch scheme
+// must provide: any membership event touching a covered cell — an
+// attach, a detach, a re-bucket — or any chEpoch-guarded event (an
+// unindexed attach) between two transmissions from the same sender
+// forces the second scan to miss. (Listen/sleep flips deliberately do
+// NOT miss; see TestRxCacheListenFlipStaysHit.)
+func TestRxCacheMissOnMembershipEvents(t *testing.T) {
+	stats := func(r *cacheRig) RxCacheStats { return r.channel.RxCacheStats() }
+
+	t.Run("baseline-hit", func(t *testing.T) {
+		r := newCacheRig(DefaultConfig())
+		r.addPacer(0, 500, 500, 0, 0)
+		r.addPacer(1, 560, 500, 0, 0)
+		r.sendAt(0.1, 0)
+		r.sendAt(0.3, 0)
+		r.engine.Run(1)
+		if s := stats(r); s.Misses != 1 || s.Hits != 1 {
+			t.Fatalf("misses=%d hits=%d, want 1 miss then 1 hit", s.Misses, s.Hits)
+		}
+	})
+
+	t.Run("attach-forces-miss", func(t *testing.T) {
+		r := newCacheRig(DefaultConfig())
+		r.addPacer(0, 500, 500, 0, 0)
+		r.addPacer(1, 560, 500, 0, 0)
+		r.sendAt(0.1, 0)
+		r.engine.Schedule(0.2, func() { r.addPacer(2, 440, 500, 0, 0) })
+		r.sendAt(0.3, 0)
+		r.engine.Run(1)
+		if s := stats(r); s.Misses != 2 || s.Hits != 0 {
+			t.Fatalf("misses=%d hits=%d, want attach to force a second miss", s.Misses, s.Hits)
+		}
+		if got := len(r.hosts[2].received); got != 1 {
+			t.Fatalf("late attacher received %d frames, want 1", got)
+		}
+	})
+
+	t.Run("detach-forces-miss", func(t *testing.T) {
+		r := newCacheRig(DefaultConfig())
+		r.addPacer(0, 500, 500, 0, 0)
+		r.addPacer(1, 560, 500, 0, 0)
+		r.addPacer(2, 440, 500, 0, 0)
+		r.sendAt(0.1, 0)
+		r.engine.Schedule(0.2, func() { r.channel.Detach(2) })
+		r.sendAt(0.3, 0)
+		r.engine.Run(1)
+		if s := stats(r); s.Misses != 2 || s.Hits != 0 {
+			t.Fatalf("misses=%d hits=%d, want detach to force a second miss", s.Misses, s.Hits)
+		}
+		if got := len(r.hosts[2].received); got != 1 {
+			t.Fatalf("detached host received %d frames, want only the first", got)
+		}
+	})
+
+	t.Run("rebucket-forces-miss", func(t *testing.T) {
+		// Host 1 walks +x at 20 m/s from x=560: its bucket's loose bounds
+		// end at x=656.25 (cell side 125, slack 31.25), so it re-buckets
+		// at t≈4.8, bumping both the departed and the arrival cell inside
+		// the sender's cover.
+		r := newCacheRig(DefaultConfig())
+		r.addPacer(0, 500, 500, 0, 0)
+		r.addPacer(1, 560, 500, 20, 0)
+		r.sendAt(0.1, 0)
+		r.sendAt(6.0, 0)
+		r.engine.Run(7)
+		if s := stats(r); s.Misses != 2 || s.Hits != 0 {
+			t.Fatalf("misses=%d hits=%d, want the re-bucket to force a second miss", s.Misses, s.Hits)
+		}
+	})
+
+	t.Run("unindexed-attach-forces-miss", func(t *testing.T) {
+		// A Mover-less endpoint has no cell to bump; the channel-wide
+		// epoch must invalidate every entry instead.
+		r := newCacheRig(DefaultConfig())
+		r.addPacer(0, 500, 500, 0, 0)
+		r.addPacer(1, 560, 500, 0, 0)
+		r.sendAt(0.1, 0)
+		r.engine.Schedule(0.2, func() {
+			h := &fakeHost{id: 9, pos: geom.Point{X: 430, Y: 500},
+				battery: energy.NewBattery(energy.PaperModel(), 1e6)}
+			r.channel.Attach(h)
+		})
+		r.sendAt(0.3, 0)
+		r.engine.Run(1)
+		if s := stats(r); s.Misses != 2 || s.Hits != 0 {
+			t.Fatalf("misses=%d hits=%d, want the unindexed attach to force a miss", s.Misses, s.Hits)
+		}
+	})
+
+	// Property sweep: random stationary populations, a random covered
+	// attach or detach between two transmissions — the second scan must
+	// never replay a stale candidate set. Every host is placed within
+	// the padded query radius of the sender, so its own cell is covered
+	// (the cover argument) and its membership events must be seen; an
+	// event outside the cover is allowed to — and should — keep the hit.
+	t.Run("random-attach-detach", func(t *testing.T) {
+		rng := sim.NewRNG(42)
+		for trial := 0; trial < 25; trial++ {
+			r := newCacheRig(DefaultConfig())
+			r.addPacer(0, 500, 500, 0, 0)
+			n := 5 + rng.Intn("trial", 20)
+			for i := 1; i <= n; i++ {
+				x := rng.Uniform("x", 350, 650)
+				y := rng.Uniform("y", 350, 650)
+				r.addPacer(hostid.ID(i), x, y, 0, 0)
+			}
+			r.sendAt(0.1, 0)
+			if trial%2 == 0 {
+				// Attach inside the padded cover (within Range of the
+				// sender, so its own cell is covered).
+				x := rng.Uniform("ax", 350, 650)
+				y := rng.Uniform("ay", 350, 650)
+				r.engine.Schedule(0.2, func() { r.addPacer(hostid.ID(n+1), x, y, 0, 0) })
+			} else {
+				victim := hostid.ID(1 + rng.Intn("victim", n))
+				r.engine.Schedule(0.2, func() { r.channel.Detach(victim) })
+			}
+			r.sendAt(0.3, 0)
+			r.engine.Run(1)
+			if s := r.channel.RxCacheStats(); s.Misses != 2 {
+				t.Fatalf("trial %d: misses=%d hits=%d, want 2 misses", trial, s.Misses, s.Hits)
+			}
+		}
+	})
+}
+
+// TestRxCacheListenFlipStaysHit pins the deliberate design deviation:
+// sleep/wake transitions do not invalidate entries. The candidate list
+// caches sleeping hosts too, and replay reads the listening bit live —
+// so duty-cycled protocols (SPAN/GAF put most of the population to
+// sleep) keep their hit rate while delivery stays byte-identical to the
+// reference scan, which reads the same bit at the same instant.
+func TestRxCacheListenFlipStaysHit(t *testing.T) {
+	r := newCacheRig(DefaultConfig())
+	r.addPacer(0, 500, 500, 0, 0)
+	b := r.addPacer(1, 560, 500, 0, 0)
+	r.sendAt(0.1, 0)
+	r.engine.Schedule(0.2, func() { r.channel.SetListening(1, false) })
+	r.sendAt(0.3, 0)
+	r.engine.Schedule(0.4, func() { r.channel.SetListening(1, true) })
+	r.sendAt(0.5, 0)
+	r.engine.Run(1)
+	s := r.channel.RxCacheStats()
+	if s.Misses != 1 || s.Hits != 2 {
+		t.Fatalf("misses=%d hits=%d, want listen flips to replay from cache", s.Misses, s.Hits)
+	}
+	if got := len(b.received); got != 2 {
+		t.Fatalf("flipping host received %d frames, want 2 (asleep for the middle one)", got)
+	}
+}
+
+// TestRxCacheDriftRecheck pins the margin machinery: a cached decision
+// is only trusted strictly before its drift deadline; past it the
+// decision is re-derived from the live position inside the hit, so a
+// boundary host moving out of range stops receiving without a miss.
+func TestRxCacheDriftRecheck(t *testing.T) {
+	r := newCacheRig(DefaultConfig())
+	r.addPacer(0, 500, 500, 0, 0)
+	// In range by 1 m at the first send, walking away at 10 m/s: out of
+	// range at the second send, but still inside its bucket's loose
+	// bounds, so the cover is unchanged and the scan replays.
+	b := r.addPacer(1, 749, 500, 10, 0)
+	r.sendAt(0.0, 0)
+	r.sendAt(0.5, 0)
+	r.engine.Run(1)
+	s := r.channel.RxCacheStats()
+	if s.Misses != 1 || s.Hits != 1 {
+		t.Fatalf("misses=%d hits=%d, want the second scan to replay", s.Misses, s.Hits)
+	}
+	if s.Rechecks == 0 {
+		t.Fatal("no drift rechecks recorded for a boundary host past its deadline")
+	}
+	if got := len(b.received); got != 1 {
+		t.Fatalf("boundary host received %d frames, want only the in-range one", got)
+	}
+}
+
+// TestStationBusyMemo exercises the same-instant carrier-sense memo
+// directly: two probes by one station at one instant cost one index
+// scan, and a transmission starting in between (txEpoch bump)
+// invalidates the memo even within the instant.
+func TestStationBusyMemo(t *testing.T) {
+	r := newCacheRig(DefaultConfig())
+	r.addPacer(0, 500, 500, 0, 0)
+	r.addPacer(1, 560, 500, 0, 0)
+	st := r.channel.stations[0]
+	pos := geom.Point{X: 500, Y: 500}
+	r.engine.Schedule(0.1, func() {
+		b1 := r.channel.stationBusy(st, pos)
+		b2 := r.channel.stationBusy(st, pos)
+		if b1 || b2 {
+			t.Error("idle medium probed busy")
+		}
+		if s := r.channel.RxCacheStats(); s.BusyHits != 1 {
+			t.Errorf("BusyHits=%d after back-to-back probes, want 1", s.BusyHits)
+		}
+		// A same-instant carrier-sense set change must not replay.
+		r.channel.txEpoch++
+		r.channel.stationBusy(st, pos)
+		if s := r.channel.RxCacheStats(); s.BusyHits != 1 {
+			t.Errorf("BusyHits=%d after txEpoch bump, want still 1", s.BusyHits)
+		}
+	})
+	// A later instant re-probes: the memo is same-instant only.
+	r.engine.Schedule(0.2, func() {
+		r.channel.stationBusy(st, pos)
+		if s := r.channel.RxCacheStats(); s.BusyHits != 1 {
+			t.Errorf("BusyHits=%d at a later instant, want still 1", s.BusyHits)
+		}
+	})
+	r.engine.Run(1)
+
+	// The reference path must not memo at all.
+	cfg := DefaultConfig()
+	cfg.NoRxCache = true
+	ref := newCacheRig(cfg)
+	ref.addPacer(0, 500, 500, 0, 0)
+	rst := ref.channel.stations[0]
+	ref.engine.Schedule(0.1, func() {
+		ref.channel.stationBusy(rst, pos)
+		ref.channel.stationBusy(rst, pos)
+	})
+	ref.engine.Run(1)
+	if s := ref.channel.RxCacheStats(); s.BusyHits != 0 {
+		t.Fatalf("NoRxCache path recorded %d BusyHits, want 0", s.BusyHits)
+	}
+}

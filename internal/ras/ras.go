@@ -22,7 +22,7 @@ package ras
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"ecgrid/internal/geom"
 	"ecgrid/internal/grid"
@@ -77,6 +77,13 @@ type Bus struct {
 	rangeM    float64 // paging reach in meters
 	latency   float64 // seconds from page to wake
 	switches  map[hostid.ID]*Switch
+
+	// ids caches the attached IDs in ascending order for PageGrid's
+	// reference sweep; rebuilt lazily after a membership change.
+	// Iterating and sorting the whole map per page event is O(N log N)
+	// per page, which dominates dense scenarios.
+	ids      []hostid.ID
+	idsDirty bool
 
 	// PagesSent counts individual paging transmissions, for overhead
 	// reporting.
@@ -135,11 +142,28 @@ func (b *Bus) Attach(id hostid.ID, sw *Switch) {
 		panic("ras: incomplete switch registration")
 	}
 	b.switches[id] = sw
+	b.idsDirty = true
 }
 
 // Detach removes a host's switch (battery death).
 func (b *Bus) Detach(id hostid.ID) {
 	delete(b.switches, id)
+	b.idsDirty = true
+}
+
+// sortedIDs returns every attached ID in ascending order, rebuilding
+// the cached slice only after Attach/Detach changed membership.
+func (b *Bus) sortedIDs() []hostid.ID {
+	if b.idsDirty {
+		b.ids = b.ids[:0]
+		for id := range b.switches { //simlint:ordered output is sorted below
+
+			b.ids = append(b.ids, id)
+		}
+		slices.Sort(b.ids)
+		b.idsDirty = false
+	}
+	return b.ids
 }
 
 // wakeAll applies the stateful tail of a grid page to the hosts a Scan
@@ -219,12 +243,7 @@ func (b *Bus) PageGrid(from geom.Point, c grid.Coord) {
 			return
 		}
 		// Wake in ID order so runs are reproducible.
-		ids := make([]hostid.ID, 0, len(b.switches))
-		for id := range b.switches {
-			ids = append(ids, id)
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		for _, id := range ids {
+		for _, id := range b.sortedIDs() {
 			sw := b.switches[id]
 			pos := sw.Position()
 			if b.partition.CellOf(pos) != c {

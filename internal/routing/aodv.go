@@ -1,7 +1,7 @@
 package routing
 
 import (
-	"sort"
+	"slices"
 
 	"ecgrid/internal/hostid"
 )
@@ -84,7 +84,7 @@ func (t *AODVTable) RemoveVia(hop hostid.ID) []hostid.ID {
 	for dst := range t.entries {
 		dsts = append(dsts, dst)
 	}
-	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+	slices.Sort(dsts)
 	var out []hostid.ID
 	for _, dst := range dsts {
 		if t.entries[dst].NextHop == hop {

@@ -1,7 +1,8 @@
 package routing
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"ecgrid/internal/grid"
 	"ecgrid/internal/hostid"
@@ -97,7 +98,7 @@ func (t *Table) Snapshot(now float64) []Entry {
 			out = append(out, e)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Dst < out[j].Dst })
+	slices.SortFunc(out, func(a, b Entry) int { return cmp.Compare(a.Dst, b.Dst) })
 	return out
 }
 
@@ -208,7 +209,7 @@ func (h *HostTable) Snapshot() []HostEntry {
 
 		out = append(out, e)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	slices.SortFunc(out, func(a, b HostEntry) int { return cmp.Compare(a.ID, b.ID) })
 	return out
 }
 
@@ -228,6 +229,6 @@ func (h *HostTable) IDs() []hostid.ID {
 
 		out = append(out, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }

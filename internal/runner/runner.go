@@ -81,6 +81,13 @@ type Results struct {
 	// construction, so its stored results differ only by Cfg.Shards.
 	Shard *shard.Stats `json:"-"`
 
+	// RxCache is the receiver-plane cache's telemetry (hits, misses,
+	// rechecks). Runtime-only and excluded from the canonical encoding
+	// for the same reason as Shard: cached runs are byte-identical to
+	// the NoRxCache reference, so stored results must not differ by
+	// cache behavior.
+	RxCache radio.RxCacheStats `json:"-"`
+
 	Collector *metrics.Collector
 }
 
@@ -543,6 +550,7 @@ func Run(cfg scenario.Config) *Results {
 		PagesDropped:          bus.PagesDropped,
 
 		Shard:     shardStats,
+		RxCache:   channel.RxCacheStats(),
 		Collector: col,
 	}
 	for _, p := range col.Alive.Points {

@@ -75,6 +75,13 @@ type Config struct {
 	// cache keys are self-consistent (and /v1/generate previews them).
 	// Negative values are rejected by New.
 	Shards int
+	// NoRxCache runs incoming configs with the receiver-plane cache
+	// disabled (radio.Config.NoRxCache) unless the config already asked
+	// for it. Results are byte-identical either way, so like Shards this
+	// is an execution default — but it is part of the batch key, so a
+	// reference server's cache entries never alias a cached server's.
+	// Exists for the CI soak diff (cmd/simd -norxcache) and debugging.
+	NoRxCache bool
 	// RunTimeout bounds one job from admission to completion; <= 0
 	// leaves jobs unbounded. A simulation cannot be preempted
 	// mid-event-loop, so the timeout takes effect at the executor's
@@ -326,6 +333,16 @@ func (s *Server) applyShards(cfg *scenario.Config) {
 	}
 }
 
+// applyRxCache overlays the server's NoRxCache execution default onto a
+// config that did not disable the cache itself. Unlike applyShards
+// there is no fit check to fall back from: the flag is valid for every
+// config.
+func (s *Server) applyRxCache(cfg *scenario.Config) {
+	if s.cfg.NoRxCache {
+		cfg.Radio.NoRxCache = true
+	}
+}
+
 // handleRun is POST /v1/run.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	cfg, err := decodeConfig(r)
@@ -334,6 +351,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.applyShards(&cfg)
+	s.applyRxCache(&cfg)
 	// scenario.Validate is the API's 4xx surface: every config mistake a
 	// CLI would exit(2) on becomes a 400 with the same message.
 	if err := cfg.Validate(); err != nil {
@@ -412,6 +430,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.applyShards(&cfg)
+	s.applyRxCache(&cfg)
 	if err := cfg.Validate(); err != nil {
 		fail(w, http.StatusBadRequest, "%v", err)
 		return

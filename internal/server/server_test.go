@@ -534,3 +534,65 @@ func TestNewRejectsNegativeShards(t *testing.T) {
 		t.Fatal("New accepted Config.Shards = -1")
 	}
 }
+
+// TestRxCacheDefaultOverlay: a server started with Config.NoRxCache
+// runs incoming configs on the uncached reference scan — a distinct,
+// self-consistent content key (so its store entries never alias a
+// cached server's) and, because the cache is byte-identical, the same
+// result payload apart from the echoed knob.
+func TestRxCacheDefaultOverlay(t *testing.T) {
+	reference, _, _ := newTestServer(t, func(c *Config) { c.NoRxCache = true })
+	cached, _, _ := newTestServer(t, nil)
+	cfg := smallCfg(1)
+
+	// The overlay is part of the key: /v1/generate previews the config
+	// the reference server will actually run.
+	want := cfg
+	want.Radio.NoRxCache = true
+	if got := genKey(t, reference, cfg); got != batch.Key(want) {
+		t.Fatalf("reference server key = %s, want the NoRxCache key %s", got, batch.Key(want))
+	}
+	if genKey(t, reference, cfg) == genKey(t, cached, cfg) {
+		t.Fatal("reference and cached servers previewed the same key")
+	}
+	// A config that disables the cache itself lands on the same key on
+	// both servers: the overlay is idempotent, not a separate dimension.
+	own := smallCfg(1)
+	own.Radio.NoRxCache = true
+	if got := genKey(t, cached, own); got != batch.Key(own) {
+		t.Fatalf("explicit NoRxCache key = %s, want %s", got, batch.Key(own))
+	}
+
+	// Byte-identity over HTTP: apart from the NoRxCache knob echoed in
+	// the result's Cfg, both servers serve identical results.
+	rs := postRun(t, reference, cfg, "")
+	if rs.StatusCode != http.StatusOK {
+		t.Fatalf("reference run status %d: %s", rs.StatusCode, readAll(t, rs))
+	}
+	rr := postRun(t, cached, cfg, "")
+	if rr.StatusCode != http.StatusOK {
+		t.Fatalf("cached run status %d", rr.StatusCode)
+	}
+	var fromRef, fromCached runner.Results
+	if err := json.Unmarshal(readAll(t, rs), &fromRef); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(readAll(t, rr), &fromCached); err != nil {
+		t.Fatal(err)
+	}
+	if !fromRef.Cfg.Radio.NoRxCache {
+		t.Fatal("reference server echoed Cfg.Radio.NoRxCache = false, want true")
+	}
+	fromRef.Cfg.Radio.NoRxCache = false
+	a, err := json.Marshal(fromRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(fromCached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("reference server's results differ from the cached server's")
+	}
+}

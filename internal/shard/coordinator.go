@@ -59,6 +59,11 @@ type Coordinator struct {
 	lookahead float64
 	rng       *sim.RNG // audit sampling; nil disables the audit
 
+	// auditStreams[s] is the shard's audit RNG stream name, formatted
+	// once here: the audit runs every window, and a Sprintf per shard per
+	// window is an allocation the steady state must not make.
+	auditStreams []string
+
 	stats Stats
 }
 
@@ -75,6 +80,12 @@ func NewCoordinator(engine *sim.Engine, pool *Pool, window, lookahead float64, r
 	c := &Coordinator{engine: engine, pool: pool, window: window, lookahead: lookahead, rng: rng}
 	c.stats.Shards = pool.plan.k
 	c.stats.Workers = 1 + pool.helpers
+	if rng != nil {
+		c.auditStreams = make([]string, pool.plan.k)
+		for s := range c.auditStreams {
+			c.auditStreams[s] = fmt.Sprintf(sim.StreamShardAudit, s)
+		}
+	}
 	return c
 }
 
@@ -122,7 +133,8 @@ func (c *Coordinator) audit(horizon float64) {
 		if len(list) == 0 {
 			continue
 		}
-		i := list[c.rng.Intn(fmt.Sprintf(sim.StreamShardAudit, s), len(list))]
+		//simlint:stream auditStreams[s] is fmt.Sprintf(sim.StreamShardAudit, s), hoisted out of the window loop
+		i := list[c.rng.Intn(c.auditStreams[s], len(list))]
 		if plan.owner[i] != s {
 			panic(fmt.Sprintf("shard: audit: host %d on shard %d's list but owned by %d", i, s, plan.owner[i]))
 		}

@@ -46,6 +46,20 @@ type Pool struct {
 	jobs    chan poolJob   // nil when the pool has no helpers
 	helpers int            // goroutines beyond the caller's own
 	wg      sync.WaitGroup // helper lifetime
+	barrier sync.WaitGroup // run's per-phase barrier, reused across phases
+
+	// Advance and Scan run every window (Scan every paged event), so
+	// their per-shard closures are built once here and parameterized
+	// through these fields — a fresh capturing closure per call would
+	// escape into the jobs channel and allocate in the steady state. The
+	// fields are written before run dispatches and only read by workers,
+	// so the channel send orders the accesses.
+	advanceFn      func(s int)
+	advFrom, advTo float64
+	scanFn         func(s int)
+	scanProbe      func(target hostid.ID) bool
+	scanXlo        float64
+	scanXhi        float64
 
 	// advancedTo[s] is the horizon shard s's mobility has been
 	// materialized to — written only by the worker running shard s's
@@ -76,6 +90,8 @@ func NewPool(plan *Plan, nodes []Node, helpers int) *Pool {
 	for i, n := range nodes {
 		p.ids[i] = n.ID()
 	}
+	p.advanceFn = p.advanceShard
+	p.scanFn = p.scanShard
 	if helpers > plan.k-1 {
 		helpers = plan.k - 1
 	}
@@ -119,15 +135,14 @@ func (p *Pool) run(fn func(s int)) {
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	wg.Add(p.plan.k)
+	p.barrier.Add(p.plan.k)
 	for s := 1; s < p.plan.k; s++ {
-		p.jobs <- poolJob{fn, s, &wg}
+		p.jobs <- poolJob{fn, s, &p.barrier}
 	}
 	fn(0)
-	wg.Done()
+	p.barrier.Done()
 	start := time.Now() //simlint:walltime — stall telemetry only, never simulation state
-	wg.Wait()
+	p.barrier.Wait()
 	p.stallNS.Add(time.Since(start).Nanoseconds()) //simlint:walltime — stall telemetry only
 }
 
@@ -144,19 +159,25 @@ func (p *Pool) run(fn func(s int)) {
 // mobility advance on purpose — it then walks legs that already exist
 // and consumes no random draws.
 func (p *Pool) Advance(from, to float64) {
-	p.run(func(s int) {
-		rect := p.plan.StripRect(s)
-		for _, i := range p.plan.lists[s] {
-			n := p.nodes[i]
-			if n.Dead() {
-				p.pinned[i] = false
-				continue
-			}
-			n.AdvanceMobility(to)
-			p.pinned[i] = n.StaysWithin(from, to, rect)
+	p.advFrom, p.advTo = from, to
+	p.run(p.advanceFn)
+}
+
+// advanceShard is Advance's per-shard body (p.advanceFn), parameterized
+// by p.advFrom/p.advTo.
+func (p *Pool) advanceShard(s int) {
+	from, to := p.advFrom, p.advTo
+	rect := p.plan.StripRect(s)
+	for _, i := range p.plan.lists[s] {
+		n := p.nodes[i]
+		if n.Dead() {
+			p.pinned[i] = false
+			continue
 		}
-		p.advancedTo[s] = to
-	})
+		n.AdvanceMobility(to)
+		p.pinned[i] = n.StaysWithin(from, to, rect)
+	}
+	p.advancedTo[s] = to
 }
 
 // Scan evaluates probe against every host — each shard's worker probes
@@ -173,21 +194,9 @@ func (p *Pool) Advance(from, to float64) {
 // its stragglers. Callers that cannot bound the probe pass an infinite
 // span and every host is probed.
 func (p *Pool) Scan(probe func(target hostid.ID) bool, xlo, xhi float64) []hostid.ID {
-	p.run(func(s int) {
-		if r := p.plan.StripRect(s); r.Max.X < xlo || r.Min.X > xhi {
-			for _, i := range p.plan.lists[s] {
-				if p.pinned[i] {
-					p.keep[i] = false // scratch reuse: stale verdicts must not leak
-				} else {
-					p.keep[i] = probe(p.ids[i])
-				}
-			}
-			return
-		}
-		for _, i := range p.plan.lists[s] {
-			p.keep[i] = probe(p.ids[i])
-		}
-	})
+	p.scanProbe, p.scanXlo, p.scanXhi = probe, xlo, xhi
+	p.run(p.scanFn)
+	p.scanProbe = nil // drop the caller's closure; it may capture a frame
 	out := p.out[:0]
 	for i, pass := range p.keep {
 		if pass {
@@ -196,6 +205,25 @@ func (p *Pool) Scan(probe func(target hostid.ID) bool, xlo, xhi float64) []hosti
 	}
 	p.out = out
 	return out
+}
+
+// scanShard is Scan's per-shard body (p.scanFn), parameterized by
+// p.scanProbe and the [p.scanXlo, p.scanXhi] admissible span.
+func (p *Pool) scanShard(s int) {
+	probe := p.scanProbe
+	if r := p.plan.StripRect(s); r.Max.X < p.scanXlo || r.Min.X > p.scanXhi {
+		for _, i := range p.plan.lists[s] {
+			if p.pinned[i] {
+				p.keep[i] = false // scratch reuse: stale verdicts must not leak
+			} else {
+				p.keep[i] = probe(p.ids[i])
+			}
+		}
+		return
+	}
+	for _, i := range p.plan.lists[s] {
+		p.keep[i] = probe(p.ids[i])
+	}
 }
 
 // Rebalance re-homes ownership to the hosts' current positions and
